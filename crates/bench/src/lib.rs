@@ -1,0 +1,11 @@
+//! Criterion benchmark harness for the secure multi-GPU workspace.
+//!
+//! Two benches live here:
+//!
+//! * `figures` — one Criterion benchmark per paper table/figure, running
+//!   the corresponding experiment at reduced (`Mode::Bench`) size. These
+//!   time the *reproduction pipelines*; the full-quality numbers come
+//!   from `cargo run -p mgpu-experiments --bin repro --release -- all`.
+//! * `micro` — microbenchmarks of the core primitives: AES block, GCM
+//!   seal, GHASH, pad-window operations, the EWMA allocator, batching,
+//!   and a short end-to-end simulation.

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] <experiment-id>... | all | list
+//! ```
+
+use mgpu_experiments::{find, registry, Mode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro [--quick] [--csv DIR] <id>... | all | list");
+    eprintln!("experiments:");
+    for e in registry() {
+        eprintln!("  {:18} {}", e.id, e.title);
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Full;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "list" | "--list" | "-l" => {
+                for e in registry() {
+                    println!("{:18} {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(registry().iter().map(|e| e.id.to_string())),
+            other if other.starts_with('-') => return usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return usage();
+    }
+    ids.dedup();
+
+    for id in &ids {
+        let Some(exp) = find(id) else {
+            eprintln!("unknown experiment: {id}");
+            return usage();
+        };
+        eprintln!("running {id} ({})...", exp.title);
+        let started = std::time::Instant::now();
+        let tables = (exp.run)(mode);
+        for table in &tables {
+            println!("{}", table.to_text());
+            if let Some(dir) = &csv_dir {
+                match table.write_csv(dir) {
+                    Ok(path) => eprintln!("wrote {}", path.display()),
+                    Err(err) => {
+                        eprintln!("failed to write CSV: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+        eprintln!("{id} finished in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! Shared experiment plumbing: run sizing, suite iteration, and cached
+//! baselines.
+
+use mgpu_system::runner::configs;
+use mgpu_system::{RunReport, Simulation};
+use mgpu_types::{OtpSchemeKind, SystemConfig};
+use mgpu_workloads::Benchmark;
+
+/// Deterministic seed used by every experiment.
+pub const SEED: u64 = 42;
+
+/// How much work an experiment run does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full reproduction quality (used by the `repro` binary).
+    Full,
+    /// Reduced size for benchmarking/CI smoke runs.
+    Quick,
+    /// Minimal size for Criterion timing loops.
+    Bench,
+}
+
+impl Mode {
+    /// Remote requests per GPU for this mode.
+    #[must_use]
+    pub fn requests(self) -> usize {
+        match self {
+            Mode::Full => 1_000,
+            Mode::Quick => 250,
+            Mode::Bench => 100,
+        }
+    }
+
+    /// The benchmark suite evaluated in this mode.
+    #[must_use]
+    pub fn suite(self) -> &'static [Benchmark] {
+        match self {
+            Mode::Full => &Benchmark::ALL,
+            Mode::Quick => &[
+                Benchmark::MatrixTranspose,
+                Benchmark::Spmv,
+                Benchmark::MatrixMultiplication,
+                Benchmark::Fir,
+            ],
+            Mode::Bench => &[Benchmark::MatrixTranspose, Benchmark::Fir],
+        }
+    }
+}
+
+/// Runs one configuration on one benchmark.
+#[must_use]
+pub fn run(cfg: &SystemConfig, bench: Benchmark, mode: Mode) -> RunReport {
+    Simulation::new(cfg.clone(), bench, SEED).run_for_requests(mode.requests())
+}
+
+/// Runs the unsecure twin of `cfg` on `bench`.
+#[must_use]
+pub fn run_baseline(cfg: &SystemConfig, bench: Benchmark, mode: Mode) -> RunReport {
+    let mut base = cfg.clone();
+    base.security.scheme = OtpSchemeKind::Unsecure;
+    base.security.batching.enabled = false;
+    run(&base, bench, mode)
+}
+
+/// The paper's standard 4-GPU configuration set for the main comparison
+/// (Fig. 21): Private 4×/16×, Cached 4×, Dynamic 4×, Dynamic+Batching 4×.
+#[must_use]
+pub fn fig21_configs(base: &SystemConfig) -> Vec<(String, SystemConfig)> {
+    vec![
+        ("private-4x".into(), configs::private(base, 4)),
+        ("private-16x".into(), configs::private(base, 16)),
+        ("cached-4x".into(), configs::cached(base, 4)),
+        ("dynamic-4x".into(), configs::dynamic(base, 4)),
+        ("batching-4x".into(), configs::batching(base, 4)),
+    ]
+}
+
+/// The Private/Cached/Ours triple used by the traffic and scaling figures.
+#[must_use]
+pub fn ours_triple(base: &SystemConfig) -> Vec<(String, SystemConfig)> {
+    vec![
+        ("private-4x".into(), configs::private(base, 4)),
+        ("cached-4x".into(), configs::cached(base, 4)),
+        ("ours".into(), configs::batching(base, 4)),
+    ]
+}
+
+/// Geometric mean helper re-exported for experiment summaries.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    mgpu_sim::stats::geometric_mean(xs).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_is_smaller() {
+        assert!(Mode::Quick.requests() < Mode::Full.requests());
+        assert!(Mode::Quick.suite().len() < Mode::Full.suite().len());
+        assert_eq!(Mode::Full.suite().len(), 17);
+    }
+
+    #[test]
+    fn baseline_is_unsecure() {
+        let cfg = configs::private(&SystemConfig::paper_4gpu(), 4);
+        let base = run_baseline(&cfg, Benchmark::Fir, Mode::Quick);
+        assert_eq!(base.scheme, OtpSchemeKind::Unsecure);
+        assert_eq!(base.traffic.metadata().as_u64(), 0);
+    }
+
+    #[test]
+    fn config_sets_have_expected_labels() {
+        let base = SystemConfig::paper_4gpu();
+        let labels: Vec<String> = fig21_configs(&base).into_iter().map(|(l, _)| l).collect();
+        assert_eq!(
+            labels,
+            ["private-4x", "private-16x", "cached-4x", "dynamic-4x", "batching-4x"]
+        );
+        assert_eq!(ours_triple(&base).len(), 3);
+    }
+
+    #[test]
+    fn geomean_of_unit_is_unit() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

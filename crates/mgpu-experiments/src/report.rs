@@ -1,0 +1,206 @@
+//! Text-table and CSV emission for experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A titled result table with aligned text and CSV renderings.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_experiments::report::Table;
+///
+/// let mut t = Table::new("demo", &["bench", "slowdown"]);
+/// t.add_row(vec!["mt".into(), "1.20".into()]);
+/// assert!(t.to_text().contains("bench"));
+/// assert!(t.to_csv().starts_with("bench,slowdown"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned, human-readable text table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas or quotes are
+    /// quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV rendering into `dir` as `<slug(title)>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a ratio with three decimals.
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Fig. X", &["a", "b"]);
+        t.add_row(vec!["1".into(), "long cell".into()]);
+        t.add_row(vec!["x,y".into(), "q\"z".into()]);
+        t
+    }
+
+    #[test]
+    fn text_alignment() {
+        let text = table().to_text();
+        assert!(text.contains("== Fig. X =="));
+        assert!(text.contains("long cell"));
+        // Header underline present.
+        assert!(text.contains("---"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = table().to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"z\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("mgpu_experiments_test");
+        let path = table().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, table().to_csv());
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig__x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.23456), "1.235");
+        assert_eq!(percent(0.365), "36.5%");
+    }
+}

@@ -1,0 +1,552 @@
+//! Security-metadata batching (paper §IV-C).
+//!
+//! Bursty communication lets the sender amortize the `MsgMAC` and the ACK
+//! over a whole group of blocks headed to the same destination: per-block
+//! decryption metadata (`MsgCTR`, sender ID) still travels with every 64 B
+//! block, but only one *batched* MAC — the MAC over the ordered
+//! concatenation of the per-block MACs (paper Fig. 20 / Formula 5) — and
+//! one ACK are exchanged per batch.
+//!
+//! Verification is **lazy** (paper adopts the lazy integrity verification
+//! of Shi et al.): the receiver decrypts and forwards each block
+//! immediately, storing its per-block MAC in the *MsgMAC storage*; when
+//! every block of the batch has arrived (in any order), the batched MAC is
+//! recomputed in order and compared. The storage is bounded (paper §IV-D:
+//! `max(16, 64) × peers × 8 B = 2 KB` per GPU).
+
+use mgpu_types::{Cycle, Duration, MgpuError, NodeId};
+use std::collections::BTreeMap;
+
+/// A per-block message authentication code (8 B on the wire, §IV-D).
+pub type MsgMac = [u8; 8];
+
+/// Identifier of a batch within a sender→receiver stream.
+pub type BatchId = u64;
+
+/// Concatenates per-block MACs in order — the input to the batched-MAC
+/// computation (paper Formula 5).
+#[must_use]
+pub fn concat_macs(macs: &[MsgMac]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(macs.len() * 8);
+    for mac in macs {
+        out.extend_from_slice(mac);
+    }
+    out
+}
+
+/// A batch closed by the sender, ready for its trailer (batched MAC) to be
+/// transmitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedBatch {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Sequential batch id within this sender→dst stream.
+    pub id: BatchId,
+    /// Per-block MACs in send order.
+    pub macs: Vec<MsgMac>,
+}
+
+impl ClosedBatch {
+    /// Number of blocks in the batch (the value of the 1 B length field).
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.macs.len() as u32
+    }
+
+    /// Whether the batch is empty (never produced by the batcher).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.macs.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct OpenBatch {
+    id: BatchId,
+    opened_at: Cycle,
+    macs: Vec<MsgMac>,
+}
+
+/// Sender-side batch assembly: groups outgoing blocks per destination.
+///
+/// A batch closes when it reaches `batch_size` blocks, or — so trickle
+/// traffic is not held hostage — when [`SenderBatcher::flush_due`] finds it
+/// older than the flush timeout.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::batching::SenderBatcher;
+/// use mgpu_types::{Cycle, Duration, NodeId};
+///
+/// let mut batcher = SenderBatcher::new(4, Duration::cycles(160));
+/// let dst = NodeId::gpu(2);
+/// for i in 0..3u8 {
+///     assert!(batcher.add_block(Cycle::new(10), dst, [i; 8]).is_none());
+/// }
+/// // The fourth block completes the batch.
+/// let batch = batcher.add_block(Cycle::new(12), dst, [3; 8]).unwrap();
+/// assert_eq!(batch.len(), 4);
+/// assert_eq!(batch.id, 0);
+/// ```
+#[derive(Debug)]
+pub struct SenderBatcher {
+    batch_size: u32,
+    flush_timeout: Duration,
+    open: BTreeMap<NodeId, OpenBatch>,
+    next_id: BTreeMap<NodeId, BatchId>,
+    closed_full: u64,
+    closed_flush: u64,
+    blocks: u64,
+}
+
+impl SenderBatcher {
+    /// Creates a batcher with the given batch size and flush timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: u32, flush_timeout: Duration) -> Self {
+        assert!(batch_size > 0, "batch size must be >= 1");
+        SenderBatcher {
+            batch_size,
+            flush_timeout,
+            open: BTreeMap::new(),
+            next_id: BTreeMap::new(),
+            closed_full: 0,
+            closed_flush: 0,
+            blocks: 0,
+        }
+    }
+
+    fn take_id(&mut self, dst: NodeId) -> BatchId {
+        let id = self.next_id.entry(dst).or_insert(0);
+        let out = *id;
+        *id += 1;
+        out
+    }
+
+    /// Adds one outgoing block (already MACed) for `dst`; returns the
+    /// closed batch if this block completed it.
+    pub fn add_block(&mut self, now: Cycle, dst: NodeId, mac: MsgMac) -> Option<ClosedBatch> {
+        self.blocks += 1;
+        if !self.open.contains_key(&dst) {
+            let id = self.take_id(dst);
+            self.open.insert(
+                dst,
+                OpenBatch {
+                    id,
+                    opened_at: now,
+                    macs: Vec::with_capacity(self.batch_size as usize),
+                },
+            );
+        }
+        let batch = self.open.get_mut(&dst).expect("just inserted");
+        batch.macs.push(mac);
+        if batch.macs.len() as u32 >= self.batch_size {
+            let batch = self.open.remove(&dst).expect("present");
+            self.closed_full += 1;
+            Some(ClosedBatch {
+                dst,
+                id: batch.id,
+                macs: batch.macs,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Closes and returns every batch that has been open longer than the
+    /// flush timeout at time `now`.
+    pub fn flush_due(&mut self, now: Cycle) -> Vec<ClosedBatch> {
+        let due: Vec<NodeId> = self
+            .open
+            .iter()
+            .filter(|(_, b)| now.saturating_since(b.opened_at) >= self.flush_timeout)
+            .map(|(&dst, _)| dst)
+            .collect();
+        due.into_iter()
+            .map(|dst| {
+                let b = self.open.remove(&dst).expect("present");
+                self.closed_flush += 1;
+                ClosedBatch {
+                    dst,
+                    id: b.id,
+                    macs: b.macs,
+                }
+            })
+            .collect()
+    }
+
+    /// Forces every open batch closed (end of workload drain).
+    pub fn flush_all(&mut self) -> Vec<ClosedBatch> {
+        let dsts: Vec<NodeId> = self.open.keys().copied().collect();
+        dsts.into_iter()
+            .map(|dst| {
+                let b = self.open.remove(&dst).expect("present");
+                self.closed_flush += 1;
+                ClosedBatch {
+                    dst,
+                    id: b.id,
+                    macs: b.macs,
+                }
+            })
+            .collect()
+    }
+
+    /// The earliest deadline among open batches, if any — when the system
+    /// should next call [`flush_due`].
+    ///
+    /// [`flush_due`]: SenderBatcher::flush_due
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Cycle> {
+        self.open
+            .values()
+            .map(|b| b.opened_at + self.flush_timeout)
+            .min()
+    }
+
+    /// Batches closed because they filled up.
+    #[must_use]
+    pub fn closed_full(&self) -> u64 {
+        self.closed_full
+    }
+
+    /// Batches closed by timeout/drain.
+    #[must_use]
+    pub fn closed_by_flush(&self) -> u64 {
+        self.closed_flush
+    }
+
+    /// Mean occupancy of closed batches (blocks per batch).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        let closed = self.closed_full + self.closed_flush;
+        if closed == 0 {
+            0.0
+        } else {
+            let pending: u64 = self.open.values().map(|b| b.macs.len() as u64).sum();
+            (self.blocks - pending) as f64 / closed as f64
+        }
+    }
+}
+
+/// Receiver-side MsgMAC storage and lazy batch verification.
+///
+/// Stores each arriving block's recomputed MAC under its `(sender, batch,
+/// index)` slot; once the batch trailer (expected length + batched MAC) and
+/// all blocks are present, the batch verifies and is removed.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::batching::{concat_macs, MacStorage};
+/// use mgpu_types::NodeId;
+///
+/// let mut storage = MacStorage::new(64 * 4);
+/// let src = NodeId::gpu(1);
+/// // Blocks may arrive out of order.
+/// storage.store_block(src, 0, 1, [0xBB; 8]).unwrap();
+/// storage.store_block(src, 0, 0, [0xAA; 8]).unwrap();
+/// // Trailer announces 2 blocks; verification closure sees the ordered
+/// // concatenation.
+/// let verified = storage
+///     .complete(src, 0, 2, |ordered| ordered == concat_macs(&[[0xAA; 8], [0xBB; 8]]))
+///     .unwrap();
+/// assert!(verified);
+/// ```
+#[derive(Debug)]
+pub struct MacStorage {
+    capacity_macs: usize,
+    slots: BTreeMap<(NodeId, BatchId), BTreeMap<u32, MsgMac>>,
+    stored: usize,
+    peak: usize,
+    verified_batches: u64,
+}
+
+impl MacStorage {
+    /// Creates storage bounded to `capacity_macs` in-flight MACs (paper:
+    /// 64 per peer, i.e. 2 KB per GPU at 8 B each in a 4-GPU system).
+    #[must_use]
+    pub fn new(capacity_macs: usize) -> Self {
+        MacStorage {
+            capacity_macs,
+            slots: BTreeMap::new(),
+            stored: 0,
+            peak: 0,
+            verified_batches: 0,
+        }
+    }
+
+    /// Stores the recomputed MAC of block `index` of `(src, batch)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgpuError::Protocol`] if the storage is full or the slot
+    /// is already occupied (duplicate delivery).
+    pub fn store_block(
+        &mut self,
+        src: NodeId,
+        batch: BatchId,
+        index: u32,
+        mac: MsgMac,
+    ) -> Result<(), MgpuError> {
+        if self.stored >= self.capacity_macs {
+            return Err(MgpuError::Protocol(format!(
+                "MsgMAC storage full ({} MACs)",
+                self.capacity_macs
+            )));
+        }
+        let slot = self.slots.entry((src, batch)).or_default();
+        if slot.contains_key(&index) {
+            return Err(MgpuError::Protocol(format!(
+                "duplicate block {index} in batch {batch} from {src}"
+            )));
+        }
+        slot.insert(index, mac);
+        self.stored += 1;
+        self.peak = self.peak.max(self.stored);
+        Ok(())
+    }
+
+    /// Number of blocks currently stored for `(src, batch)`.
+    #[must_use]
+    pub fn pending(&self, src: NodeId, batch: BatchId) -> usize {
+        self.slots.get(&(src, batch)).map_or(0, BTreeMap::len)
+    }
+
+    /// Completes a batch: checks that exactly `expected_len` consecutive
+    /// blocks `0..expected_len` are present, hands their ordered
+    /// concatenation to `verify`, and frees the storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgpuError::Protocol`] if blocks are missing or extra.
+    pub fn complete<F>(
+        &mut self,
+        src: NodeId,
+        batch: BatchId,
+        expected_len: u32,
+        verify: F,
+    ) -> Result<bool, MgpuError>
+    where
+        F: FnOnce(&[u8]) -> bool,
+    {
+        let slot = self
+            .slots
+            .remove(&(src, batch))
+            .ok_or_else(|| MgpuError::Protocol(format!("unknown batch {batch} from {src}")))?;
+        self.stored -= slot.len();
+        if slot.len() as u32 != expected_len
+            || !(0..expected_len).all(|i| slot.contains_key(&i))
+        {
+            return Err(MgpuError::Protocol(format!(
+                "batch {batch} from {src}: expected blocks 0..{expected_len}, got {}",
+                slot.len()
+            )));
+        }
+        let ordered: Vec<MsgMac> = (0..expected_len)
+            .map(|i| slot[&i])
+            .collect();
+        let ok = verify(&concat_macs(&ordered));
+        if ok {
+            self.verified_batches += 1;
+        }
+        Ok(ok)
+    }
+
+    /// High-water mark of stored MACs (for the paper's 2 KB sizing check).
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Batches verified successfully so far.
+    #[must_use]
+    pub fn verified_batches(&self) -> u64 {
+        self.verified_batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_close_at_size() {
+        let mut b = SenderBatcher::new(16, Duration::cycles(160));
+        let dst = NodeId::gpu(2);
+        for i in 0..15u8 {
+            assert!(b.add_block(Cycle::new(u64::from(i)), dst, [i; 8]).is_none());
+        }
+        let closed = b.add_block(Cycle::new(15), dst, [15; 8]).expect("full");
+        assert_eq!(closed.len(), 16);
+        assert!(!closed.is_empty());
+        assert_eq!(closed.macs[3], [3; 8]);
+        assert_eq!(b.closed_full(), 1);
+    }
+
+    #[test]
+    fn batch_ids_are_sequential_per_destination() {
+        let mut b = SenderBatcher::new(2, Duration::cycles(160));
+        let d1 = NodeId::gpu(2);
+        let d2 = NodeId::gpu(3);
+        b.add_block(Cycle::ZERO, d1, [0; 8]);
+        let b0 = b.add_block(Cycle::ZERO, d1, [1; 8]).unwrap();
+        b.add_block(Cycle::ZERO, d2, [0; 8]);
+        let c0 = b.add_block(Cycle::ZERO, d2, [1; 8]).unwrap();
+        b.add_block(Cycle::ZERO, d1, [2; 8]);
+        let b1 = b.add_block(Cycle::ZERO, d1, [3; 8]).unwrap();
+        assert_eq!(b0.id, 0);
+        assert_eq!(b1.id, 1);
+        assert_eq!(c0.id, 0); // independent stream
+    }
+
+    #[test]
+    fn timeout_flushes_partial_batches() {
+        let mut b = SenderBatcher::new(16, Duration::cycles(160));
+        let dst = NodeId::gpu(2);
+        b.add_block(Cycle::new(10), dst, [1; 8]);
+        b.add_block(Cycle::new(20), dst, [2; 8]);
+        assert!(b.flush_due(Cycle::new(100)).is_empty());
+        assert_eq!(b.next_deadline(), Some(Cycle::new(170)));
+        let flushed = b.flush_due(Cycle::new(170));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].len(), 2);
+        assert_eq!(b.closed_by_flush(), 1);
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn flush_all_drains_everything() {
+        let mut b = SenderBatcher::new(16, Duration::cycles(160));
+        b.add_block(Cycle::ZERO, NodeId::gpu(2), [1; 8]);
+        b.add_block(Cycle::ZERO, NodeId::gpu(3), [2; 8]);
+        let drained = b.flush_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn mean_occupancy() {
+        let mut b = SenderBatcher::new(4, Duration::cycles(160));
+        let dst = NodeId::gpu(2);
+        for i in 0..4u8 {
+            b.add_block(Cycle::ZERO, dst, [i; 8]);
+        }
+        b.add_block(Cycle::ZERO, dst, [9; 8]);
+        b.flush_all();
+        // Two closed batches: 4 + 1 blocks.
+        assert!((b.mean_occupancy() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_tolerates_out_of_order() {
+        let mut s = MacStorage::new(256);
+        let src = NodeId::gpu(1);
+        let order = [3u32, 0, 2, 1];
+        for &i in &order {
+            s.store_block(src, 7, i, [i as u8; 8]).unwrap();
+        }
+        assert_eq!(s.pending(src, 7), 4);
+        let expected = concat_macs(&[[0; 8], [1; 8], [2; 8], [3; 8]]);
+        let ok = s.complete(src, 7, 4, |c| c == expected).unwrap();
+        assert!(ok);
+        assert_eq!(s.pending(src, 7), 0);
+        assert_eq!(s.verified_batches(), 1);
+    }
+
+    #[test]
+    fn storage_rejects_duplicates_and_overflow() {
+        let mut s = MacStorage::new(2);
+        let src = NodeId::gpu(1);
+        s.store_block(src, 0, 0, [0; 8]).unwrap();
+        assert!(matches!(
+            s.store_block(src, 0, 0, [1; 8]),
+            Err(MgpuError::Protocol(_))
+        ));
+        s.store_block(src, 0, 1, [1; 8]).unwrap();
+        assert!(matches!(
+            s.store_block(src, 1, 0, [2; 8]),
+            Err(MgpuError::Protocol(_))
+        ));
+        assert_eq!(s.peak(), 2);
+    }
+
+    #[test]
+    fn incomplete_batch_fails_completion() {
+        let mut s = MacStorage::new(64);
+        let src = NodeId::gpu(1);
+        s.store_block(src, 0, 0, [0; 8]).unwrap();
+        s.store_block(src, 0, 2, [2; 8]).unwrap();
+        // Block 1 missing.
+        assert!(s.complete(src, 0, 3, |_| true).is_err());
+        // Unknown batch.
+        assert!(s.complete(src, 5, 1, |_| true).is_err());
+    }
+
+    #[test]
+    fn failed_verification_reports_false() {
+        let mut s = MacStorage::new(64);
+        let src = NodeId::gpu(1);
+        s.store_block(src, 0, 0, [0xAA; 8]).unwrap();
+        let ok = s.complete(src, 0, 1, |_| false).unwrap();
+        assert!(!ok);
+        assert_eq!(s.verified_batches(), 0);
+    }
+
+    #[test]
+    fn paper_storage_sizing() {
+        // §IV-D: max(16, 64) MACs × 4 peers × 8 B = 2 KB per GPU.
+        let macs = 64 * 4;
+        assert_eq!(macs * 8, 2048);
+        let s = MacStorage::new(macs);
+        assert_eq!(s.capacity_macs, 256);
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_permutation_reassembles(n in 1u32..64, seed in any::<u64>()) {
+                let mut order: Vec<u32> = (0..n).collect();
+                // Simple deterministic shuffle from the seed.
+                let mut state = seed | 1;
+                for i in (1..order.len()).rev() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let j = (state >> 33) as usize % (i + 1);
+                    order.swap(i, j);
+                }
+                let mut s = MacStorage::new(n as usize);
+                let src = NodeId::gpu(1);
+                for &i in &order {
+                    s.store_block(src, 0, i, [(i % 251) as u8; 8]).unwrap();
+                }
+                let expected: Vec<MsgMac> = (0..n).map(|i| [(i % 251) as u8; 8]).collect();
+                let expected = concat_macs(&expected);
+                prop_assert!(s.complete(src, 0, n, |c| c == expected).unwrap());
+            }
+
+            #[test]
+            fn batcher_conserves_blocks(
+                blocks in proptest::collection::vec(0usize..3, 1..200),
+                batch_size in 1u32..20) {
+                let peers = [NodeId::gpu(2), NodeId::gpu(3), NodeId::CPU];
+                let mut b = SenderBatcher::new(batch_size, Duration::cycles(160));
+                let mut closed_blocks = 0u64;
+                for (t, &p) in blocks.iter().enumerate() {
+                    if let Some(batch) = b.add_block(Cycle::new(t as u64), peers[p], [0; 8]) {
+                        closed_blocks += u64::from(batch.len());
+                    }
+                }
+                for batch in b.flush_all() {
+                    closed_blocks += u64::from(batch.len());
+                }
+                prop_assert_eq!(closed_blocks, blocks.len() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! Functional secure channel: the full protocol over real AES-GCM bits.
+//!
+//! The timing simulation (`mgpu-system`) models *when* things happen; this
+//! module proves *that* the protocol works: every block is genuinely
+//! encrypted, authenticated, replay-protected and — under batching —
+//! lazily verified from the MsgMAC storage, using the workspace's
+//! from-scratch crypto. Integration tests and the `secure_channel` example
+//! drive attacks (bit flips, replays, reordering) against it.
+
+use crate::batching::{concat_macs, BatchId, MacStorage, MsgMac, SenderBatcher};
+use crate::key_exchange::KeyExchange;
+use crate::replay::ReplayGuard;
+use mgpu_crypto::pad::PadSeed;
+use mgpu_crypto::AesGcm;
+use mgpu_types::{Cycle, Duration, MgpuError, NodeId};
+use std::collections::BTreeMap;
+
+/// Payload size of one protected block (a 64 B cacheline).
+pub const BLOCK_SIZE: usize = 64;
+
+/// Batch-id counters live in a disjoint nonce space from block counters.
+const BATCH_NONCE_BIT: u64 = 1 << 63;
+
+/// One protected block on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireBlock {
+    /// Sending node (the 1 B sender ID of the protocol).
+    pub sender: NodeId,
+    /// Receiving node.
+    pub receiver: NodeId,
+    /// `MsgCTR` — selects the pad on both sides.
+    pub counter: u64,
+    /// 64 B of ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// Per-block `MsgMAC`; `None` for batched blocks, whose integrity is
+    /// carried by the batch trailer instead.
+    pub mac: Option<MsgMac>,
+    /// Batch membership: `(batch id, index within batch)`.
+    pub batch: Option<(BatchId, u32)>,
+}
+
+/// The per-batch trailer: one batched MAC covering the whole group
+/// (paper Fig. 19b sends this once per n blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTrailer {
+    /// Sending node.
+    pub sender: NodeId,
+    /// Receiving node.
+    pub receiver: NodeId,
+    /// Batch id within the sender→receiver stream.
+    pub id: BatchId,
+    /// Number of blocks in the batch (the 1 B length field).
+    pub len: u32,
+    /// MAC over the ordered concatenation of the per-block MACs.
+    pub mac: MsgMac,
+}
+
+/// The acknowledgement returned for replay protection: echoes the MAC of
+/// the block (unbatched) or of the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// Node sending the ACK (the original receiver).
+    pub from: NodeId,
+    /// Echoed counter (block `MsgCTR`, or batch id in the batch nonce
+    /// space).
+    pub counter: u64,
+    /// Echoed MAC.
+    pub mac: MsgMac,
+}
+
+/// One node's end of the secure communication fabric.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::channel::Endpoint;
+/// use mgpu_secure::key_exchange::KeyExchange;
+/// use mgpu_types::NodeId;
+///
+/// let kx = KeyExchange::boot([1u8; 16]);
+/// let mut gpu1 = Endpoint::new(NodeId::gpu(1), 4, &kx);
+/// let mut gpu2 = Endpoint::new(NodeId::gpu(2), 4, &kx);
+///
+/// let block = [0xCD; 64];
+/// let wire = gpu1.seal_block(NodeId::gpu(2), &block);
+/// let (plain, ack) = gpu2.open_block(&wire).expect("authentic");
+/// assert_eq!(plain, block);
+/// gpu1.accept_ack(&ack).expect("fresh");
+/// ```
+#[derive(Debug)]
+pub struct Endpoint {
+    id: NodeId,
+    gcm: BTreeMap<NodeId, AesGcm>,
+    send_ctr: BTreeMap<NodeId, u64>,
+    guard: ReplayGuard,
+    batcher: SenderBatcher,
+    storage: MacStorage,
+    /// Trailers that arrived before all of their blocks did.
+    early_trailers: BTreeMap<(NodeId, BatchId), BatchTrailer>,
+    /// Highest batch id accepted per sender (trailer replay protection).
+    last_batch: BTreeMap<NodeId, BatchId>,
+}
+
+impl Endpoint {
+    /// Creates the endpoint for node `id` in a system with `gpu_count`
+    /// GPUs, deriving session keys for every peer from the boot exchange.
+    #[must_use]
+    pub fn new(id: NodeId, gpu_count: u16, kx: &KeyExchange) -> Self {
+        let mut gcm = BTreeMap::new();
+        for peer in id.peers(gpu_count) {
+            gcm.insert(peer, AesGcm::new(&kx.pair_key(id, peer)));
+        }
+        Endpoint {
+            id,
+            gcm,
+            send_ctr: BTreeMap::new(),
+            guard: ReplayGuard::new(),
+            batcher: SenderBatcher::new(16, Duration::cycles(160)),
+            storage: MacStorage::new(64 * gpu_count as usize),
+            early_trailers: BTreeMap::new(),
+            last_batch: BTreeMap::new(),
+        }
+    }
+
+    /// This endpoint's node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn gcm_for(&self, peer: NodeId) -> &AesGcm {
+        self.gcm.get(&peer).expect("peer within system")
+    }
+
+    fn next_ctr(&mut self, peer: NodeId) -> u64 {
+        let ctr = self.send_ctr.entry(peer).or_insert(0);
+        let out = *ctr;
+        *ctr += 1;
+        out
+    }
+
+    fn aad(sender: NodeId, receiver: NodeId, counter: u64) -> [u8; 12] {
+        PadSeed::new(sender.raw(), receiver.raw(), counter).to_nonce()
+    }
+
+    /// Seals one unbatched block for `peer`: encrypt, MAC, register the
+    /// outstanding `(counter, MAC)` for replay protection.
+    pub fn seal_block(&mut self, peer: NodeId, block: &[u8; BLOCK_SIZE]) -> WireBlock {
+        let counter = self.next_ctr(peer);
+        let nonce = PadSeed::new(self.id.raw(), peer.raw(), counter).to_nonce();
+        let aad = Self::aad(self.id, peer, counter);
+        let (ciphertext, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, block);
+        let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
+        self.guard.register_outstanding(peer, counter, mac);
+        WireBlock {
+            sender: self.id,
+            receiver: peer,
+            counter,
+            ciphertext,
+            mac: Some(mac),
+            batch: None,
+        }
+    }
+
+    /// Opens one unbatched block: freshness check, verify MAC, decrypt,
+    /// and produce the ACK to return.
+    ///
+    /// # Errors
+    ///
+    /// * [`MgpuError::ReplayDetected`] — the counter did not advance.
+    /// * [`MgpuError::AuthenticationFailed`] — MAC mismatch (tampering).
+    /// * [`MgpuError::Protocol`] — the block claims batch membership or
+    ///   carries no MAC.
+    pub fn open_block(&mut self, wire: &WireBlock) -> Result<(Vec<u8>, Ack), MgpuError> {
+        if wire.batch.is_some() {
+            return Err(MgpuError::Protocol(
+                "batched block passed to open_block; use open_batched_block".into(),
+            ));
+        }
+        let mac = wire.mac.ok_or_else(|| {
+            MgpuError::Protocol("unbatched block without a MsgMAC".into())
+        })?;
+        let nonce = PadSeed::new(wire.sender.raw(), self.id.raw(), wire.counter).to_nonce();
+        let aad = Self::aad(wire.sender, self.id, wire.counter);
+        // Verify first, record freshness second: a forged message must not
+        // burn the counter it claims, or an attacker could block the
+        // genuine message by sending garbage ahead of it.
+        let plaintext = self
+            .gcm_for(wire.sender)
+            .open_detached(&nonce, &aad, &wire.ciphertext, &mac)
+            .map_err(|_| MgpuError::AuthenticationFailed {
+                context: format!(
+                    "block MAC mismatch from {} at counter {}",
+                    wire.sender, wire.counter
+                ),
+            })?;
+        self.guard.check_fresh(wire.sender, wire.counter)?;
+        Ok((
+            plaintext,
+            Ack {
+                from: self.id,
+                counter: wire.counter,
+                mac,
+            },
+        ))
+    }
+
+    /// Seals a group of blocks for `peer` as one batch: per-block MACs are
+    /// withheld from the wire; the returned trailer carries the single
+    /// batched MAC (paper Formula 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn seal_batch(
+        &mut self,
+        peer: NodeId,
+        blocks: &[[u8; BLOCK_SIZE]],
+    ) -> (Vec<WireBlock>, BatchTrailer) {
+        assert!(!blocks.is_empty(), "batch must contain at least one block");
+        let mut wires = Vec::with_capacity(blocks.len());
+        let mut closed = None;
+        let now = Cycle::ZERO; // functional path: timing handled elsewhere
+        for block in blocks {
+            let counter = self.next_ctr(peer);
+            let nonce = PadSeed::new(self.id.raw(), peer.raw(), counter).to_nonce();
+            let aad = Self::aad(self.id, peer, counter);
+            let (ciphertext, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, block);
+            let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
+            if let Some(done) = self.batcher.add_block(now, peer, mac) {
+                closed = Some(done);
+            }
+            wires.push(WireBlock {
+                sender: self.id,
+                receiver: peer,
+                counter,
+                ciphertext,
+                mac: None,
+                batch: None, // ids assigned below once the batch closes
+            });
+        }
+        let closed = match closed {
+            Some(c) => c,
+            None => self
+                .batcher
+                .flush_all()
+                .into_iter()
+                .find(|b| b.dst == peer)
+                .expect("open batch for peer"),
+        };
+        for (index, wire) in wires.iter_mut().enumerate() {
+            wire.batch = Some((closed.id, index as u32));
+        }
+        let trailer_mac = self.batched_mac(peer, closed.id, &concat_macs(&closed.macs));
+        self.guard
+            .register_outstanding(peer, closed.id | BATCH_NONCE_BIT, trailer_mac);
+        (
+            wires,
+            BatchTrailer {
+                sender: self.id,
+                receiver: peer,
+                id: closed.id,
+                len: closed.len(),
+                mac: trailer_mac,
+            },
+        )
+    }
+
+    /// Computes the batched MAC over the ordered MAC concatenation, in the
+    /// dedicated batch nonce space of the `self → peer` stream.
+    fn batched_mac(&self, peer: NodeId, id: BatchId, concat: &[u8]) -> MsgMac {
+        let nonce = PadSeed::new(self.id.raw(), peer.raw(), id | BATCH_NONCE_BIT).to_nonce();
+        let aad = Self::aad(self.id, peer, id | BATCH_NONCE_BIT);
+        let (_, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, concat);
+        tag[..8].try_into().expect("8-byte prefix")
+    }
+
+    /// Opens one *batched* block lazily: the plaintext is returned
+    /// immediately (after freshness check); the recomputed per-block MAC is
+    /// parked in the MsgMAC storage. If this block completes a batch whose
+    /// trailer already arrived, the batch verifies now and the ACK is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`MgpuError::ReplayDetected`] — stale counter.
+    /// * [`MgpuError::Protocol`] — not a batched block, duplicate index, or
+    ///   storage overflow.
+    /// * [`MgpuError::AuthenticationFailed`] — the completing batch failed
+    ///   verification.
+    pub fn open_batched_block(
+        &mut self,
+        wire: &WireBlock,
+    ) -> Result<(Vec<u8>, Option<Ack>), MgpuError> {
+        let (batch_id, index) = wire.batch.ok_or_else(|| {
+            MgpuError::Protocol("unbatched block passed to open_batched_block".into())
+        })?;
+        // Batched blocks may arrive out of order within their batch, so the
+        // strict per-block counter check does not apply. Replay protection
+        // still holds: a duplicated block hits an occupied MsgMAC-storage
+        // slot (rejected below), and a replayed *batch* is caught by the
+        // trailer's batch-id freshness check in `accept_trailer`.
+        let nonce = PadSeed::new(wire.sender.raw(), self.id.raw(), wire.counter).to_nonce();
+        let aad = Self::aad(wire.sender, self.id, wire.counter);
+        // Lazy verification: decrypt now, verify when the batch completes.
+        let (plaintext, tag) =
+            self.gcm_for(wire.sender)
+                .decrypt_and_tag(&nonce, &aad, &wire.ciphertext);
+        let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
+        self.storage.store_block(wire.sender, batch_id, index, mac)?;
+        // If the trailer is already here and all blocks arrived, finish.
+        let ack = if let Some(trailer) = self.early_trailers.get(&(wire.sender, batch_id)) {
+            if self.storage.pending(wire.sender, batch_id) as u32 == trailer.len {
+                let trailer = *trailer;
+                self.early_trailers.remove(&(wire.sender, batch_id));
+                Some(self.finish_batch(&trailer)?)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok((plaintext, ack))
+    }
+
+    /// Processes a batch trailer. If every block already arrived the batch
+    /// verifies immediately and the ACK is returned; otherwise the trailer
+    /// is parked until the last block lands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgpuError::AuthenticationFailed`] if the batched MAC does
+    /// not match, or [`MgpuError::Protocol`] on malformed batches.
+    pub fn accept_trailer(&mut self, trailer: &BatchTrailer) -> Result<Option<Ack>, MgpuError> {
+        // Batch ids advance monotonically per stream: a replayed batch
+        // (blocks + trailer re-sent wholesale) trips this check. Batch ids
+        // get their own freshness domain, separate from block counters.
+        match self.last_batch.get(&trailer.sender) {
+            Some(&last) if trailer.id <= last => {
+                return Err(MgpuError::ReplayDetected {
+                    counter: trailer.id,
+                });
+            }
+            _ => {
+                self.last_batch.insert(trailer.sender, trailer.id);
+            }
+        }
+        if self.storage.pending(trailer.sender, trailer.id) as u32 == trailer.len {
+            Ok(Some(self.finish_batch(trailer)?))
+        } else {
+            self.early_trailers
+                .insert((trailer.sender, trailer.id), *trailer);
+            Ok(None)
+        }
+    }
+
+    fn finish_batch(&mut self, trailer: &BatchTrailer) -> Result<Ack, MgpuError> {
+        let sender = trailer.sender;
+        let id = trailer.id;
+        let me = self.id;
+        // Compute verification inside the closure using a locally
+        // recomputed batched MAC.
+        let gcm = self.gcm_for(sender).clone();
+        let trailer_mac = trailer.mac;
+        let ok = self.storage.complete(sender, id, trailer.len, |concat| {
+            let nonce = PadSeed::new(sender.raw(), me.raw(), id | BATCH_NONCE_BIT).to_nonce();
+            let aad = Self::aad(sender, me, id | BATCH_NONCE_BIT);
+            let (_, tag) = gcm.seal_detached(&nonce, &aad, concat);
+            tag[..8] == trailer_mac
+        })?;
+        if !ok {
+            return Err(MgpuError::AuthenticationFailed {
+                context: format!("batched MAC mismatch for batch {id} from {sender}"),
+            });
+        }
+        Ok(Ack {
+            from: me,
+            counter: id | BATCH_NONCE_BIT,
+            mac: trailer_mac,
+        })
+    }
+
+    /// Validates an ACK against the outstanding table (replay protection's
+    /// sender side).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReplayGuard::accept_ack`].
+    pub fn accept_ack(&mut self, ack: &Ack) -> Result<(), MgpuError> {
+        self.guard.accept_ack(ack.from, ack.counter, ack.mac)
+    }
+
+    /// Messages/batches still awaiting acknowledgement.
+    #[must_use]
+    pub fn outstanding_acks(&self) -> usize {
+        self.guard.outstanding()
+    }
+
+    /// High-water mark of the receive-side MsgMAC storage.
+    #[must_use]
+    pub fn mac_storage_peak(&self) -> usize {
+        self.storage.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Endpoint, Endpoint) {
+        let kx = KeyExchange::boot([42; 16]);
+        (
+            Endpoint::new(NodeId::gpu(1), 4, &kx),
+            Endpoint::new(NodeId::gpu(2), 4, &kx),
+        )
+    }
+
+    #[test]
+    fn unbatched_roundtrip_with_ack() {
+        let (mut a, mut b) = pair();
+        let block = [0x5A; 64];
+        let wire = a.seal_block(b.id(), &block);
+        assert_eq!(a.outstanding_acks(), 1);
+        let (plain, ack) = b.open_block(&wire).unwrap();
+        assert_eq!(plain, block);
+        a.accept_ack(&ack).unwrap();
+        assert_eq!(a.outstanding_acks(), 0);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_across_counters() {
+        let (mut a, b) = pair();
+        let block = [0x5A; 64];
+        let w1 = a.seal_block(b.id(), &block);
+        let w2 = a.seal_block(b.id(), &block);
+        assert_ne!(w1.ciphertext, block.to_vec());
+        // Same plaintext, fresh counter => fresh pad => fresh ciphertext.
+        assert_ne!(w1.ciphertext, w2.ciphertext);
+        assert_eq!(w1.counter + 1, w2.counter);
+    }
+
+    #[test]
+    fn tampered_block_is_rejected() {
+        let (mut a, mut b) = pair();
+        let mut wire = a.seal_block(b.id(), &[1; 64]);
+        wire.ciphertext[10] ^= 0x80;
+        let err = b.open_block(&wire).unwrap_err();
+        assert!(matches!(err, MgpuError::AuthenticationFailed { .. }));
+    }
+
+    #[test]
+    fn replayed_block_is_rejected() {
+        let (mut a, mut b) = pair();
+        let wire = a.seal_block(b.id(), &[1; 64]);
+        b.open_block(&wire).unwrap();
+        let err = b.open_block(&wire).unwrap_err();
+        assert!(matches!(err, MgpuError::ReplayDetected { .. }));
+    }
+
+    #[test]
+    fn forged_ack_is_rejected() {
+        let (mut a, mut b) = pair();
+        let wire = a.seal_block(b.id(), &[1; 64]);
+        let (_, mut ack) = b.open_block(&wire).unwrap();
+        ack.mac[0] ^= 1;
+        assert!(matches!(
+            a.accept_ack(&ack),
+            Err(MgpuError::AuthenticationFailed { .. })
+        ));
+        // Original entry still outstanding for the genuine ACK.
+        assert_eq!(a.outstanding_acks(), 1);
+    }
+
+    #[test]
+    fn batch_roundtrip_in_order() {
+        let (mut a, mut b) = pair();
+        let blocks: Vec<[u8; 64]> = (0..16u8).map(|i| [i; 64]).collect();
+        let (wires, trailer) = a.seal_batch(b.id(), &blocks);
+        assert_eq!(trailer.len, 16);
+        let mut ack = None;
+        for (i, wire) in wires.iter().enumerate() {
+            let (plain, maybe_ack) = b.open_batched_block(wire).unwrap();
+            assert_eq!(plain, blocks[i]);
+            assert!(maybe_ack.is_none());
+        }
+        // Trailer arrives after all blocks: verification completes.
+        if let Some(got) = b.accept_trailer(&trailer).unwrap() {
+            ack = Some(got);
+        }
+        let ack = ack.expect("batch verified");
+        a.accept_ack(&ack).unwrap();
+        assert_eq!(a.outstanding_acks(), 0);
+    }
+
+    #[test]
+    fn batch_roundtrip_out_of_order_with_early_trailer() {
+        let (mut a, mut b) = pair();
+        let blocks: Vec<[u8; 64]> = (0..8u8).map(|i| [i.wrapping_mul(37); 64]).collect();
+        let (mut wires, trailer) = a.seal_batch(b.id(), &blocks);
+        // Trailer first (races ahead on the wire).
+        assert!(b.accept_trailer(&trailer).unwrap().is_none());
+        // Blocks arrive in reverse order — but counters must still advance;
+        // reverse order would trip the freshness check, so interleave
+        // plausibly: deliver evens then odds.
+        let evens: Vec<WireBlock> = wires.iter().step_by(2).cloned().collect();
+        let odds: Vec<WireBlock> = wires.iter().skip(1).step_by(2).cloned().collect();
+        wires.clear();
+        let mut ack = None;
+        for wire in evens.iter() {
+            let (_, got) = b.open_batched_block(wire).unwrap();
+            assert!(got.is_none());
+        }
+        for wire in odds.iter() {
+            let (_, got) = b.open_batched_block(wire).unwrap();
+            if let Some(got) = got {
+                ack = Some(got);
+            }
+        }
+        let ack = ack.expect("last block completed the batch");
+        a.accept_ack(&ack).unwrap();
+    }
+
+    #[test]
+    fn tampered_batched_block_fails_lazy_verification() {
+        let (mut a, mut b) = pair();
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let (mut wires, trailer) = a.seal_batch(b.id(), &blocks);
+        wires[2].ciphertext[0] ^= 1;
+        for wire in &wires {
+            // Lazy: decryption always "succeeds" — tampering surfaces at
+            // batch completion, not here.
+            b.open_batched_block(wire).unwrap();
+        }
+        let err = b.accept_trailer(&trailer).unwrap_err();
+        assert!(matches!(err, MgpuError::AuthenticationFailed { .. }));
+    }
+
+    #[test]
+    fn tampered_trailer_fails() {
+        let (mut a, mut b) = pair();
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let (wires, mut trailer) = a.seal_batch(b.id(), &blocks);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        trailer.mac[5] ^= 4;
+        assert!(matches!(
+            b.accept_trailer(&trailer),
+            Err(MgpuError::AuthenticationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn block_and_batch_nonce_spaces_are_disjoint() {
+        // Batch id 0 must not collide with block counter 0.
+        let (mut a, mut b) = pair();
+        let (wires, trailer) = a.seal_batch(b.id(), &[[7; 64]]);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        let ack = b.accept_trailer(&trailer).unwrap().expect("verified");
+        assert_eq!(ack.counter, BATCH_NONCE_BIT);
+        a.accept_ack(&ack).unwrap();
+        // A plain block with counter equal to the batch count still works.
+        let wire = a.seal_block(b.id(), &[8; 64]);
+        b.open_block(&wire).unwrap();
+    }
+
+    #[test]
+    fn mac_storage_peak_is_bounded_by_batch() {
+        let (mut a, mut b) = pair();
+        let blocks: Vec<[u8; 64]> = (0..16u8).map(|i| [i; 64]).collect();
+        let (wires, trailer) = a.seal_batch(b.id(), &blocks);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        b.accept_trailer(&trailer).unwrap();
+        assert_eq!(b.mac_storage_peak(), 16);
+    }
+
+    #[test]
+    fn wrong_key_cannot_open() {
+        let kx1 = KeyExchange::boot([1; 16]);
+        let kx2 = KeyExchange::boot([2; 16]);
+        let mut a = Endpoint::new(NodeId::gpu(1), 4, &kx1);
+        let mut b = Endpoint::new(NodeId::gpu(2), 4, &kx2);
+        let wire = a.seal_block(b.id(), &[9; 64]);
+        assert!(matches!(
+            b.open_block(&wire),
+            Err(MgpuError::AuthenticationFailed { .. })
+        ));
+    }
+}

@@ -1,0 +1,460 @@
+//! EWMA-based traffic monitoring and OTP buffer partitioning — the paper's
+//! Formulas 1–4 (§IV-B).
+//!
+//! Every interval `T`, each node:
+//!
+//! 1. updates the **send-direction weight** `S_{i+1} = (1-α)·S_i +
+//!    α·(SReq_i / (SReq_i + RReq_i))` (Formula 1),
+//! 2. splits the total OTP buffer pool between directions:
+//!    `SPad = Total·S`, `RPad = Total - SPad` (Formula 2),
+//! 3. updates **per-peer weights** within each direction by the same EWMA
+//!    with rate β (Formula 3), and
+//! 4. assigns each peer its share `SPad^m = SPad·S^m` (Formula 4).
+//!
+//! The paper's formulas produce real numbers; buffers are discrete. We use
+//! largest-remainder rounding so the integer allocation always conserves
+//! the pool exactly — an invariant the property tests pin down.
+
+use mgpu_types::NodeId;
+use std::collections::BTreeMap;
+
+/// Splits `total` units proportionally to `weights` using the
+/// largest-remainder method. The result always sums to `total`.
+///
+/// Weights are clamped to be non-negative; if they sum to zero the split is
+/// as even as possible (earlier indices get the extras).
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::ewma::partition;
+///
+/// assert_eq!(partition(10, &[0.5, 0.5]), vec![5, 5]);
+/// assert_eq!(partition(10, &[0.74, 0.26]), vec![7, 3]);
+/// assert_eq!(partition(7, &[1.0, 1.0, 1.0]).iter().sum::<u32>(), 7);
+/// ```
+#[must_use]
+pub fn partition(total: u32, weights: &[f64]) -> Vec<u32> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();
+    let sum: f64 = clamped.iter().sum();
+    let quotas: Vec<f64> = if sum > 0.0 {
+        clamped
+            .iter()
+            .map(|w| f64::from(total) * w / sum)
+            .collect()
+    } else {
+        vec![f64::from(total) / weights.len() as f64; weights.len()]
+    };
+    let mut alloc: Vec<u32> = quotas.iter().map(|q| q.floor() as u32).collect();
+    let assigned: u32 = alloc.iter().sum();
+    let mut remainder_order: Vec<usize> = (0..weights.len()).collect();
+    remainder_order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.partial_cmp(&fa)
+            .expect("quota fractions are finite")
+            .then(a.cmp(&b))
+    });
+    let mut leftover = total - assigned;
+    for &i in &remainder_order {
+        if leftover == 0 {
+            break;
+        }
+        alloc[i] += 1;
+        leftover -= 1;
+    }
+    alloc
+}
+
+/// The integer OTP buffer allocation produced at an interval boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Pads per peer in the send direction (Formula 4, `SPad^m`).
+    pub send: BTreeMap<NodeId, u32>,
+    /// Pads per peer in the receive direction (`RPad^m`).
+    pub recv: BTreeMap<NodeId, u32>,
+}
+
+impl Allocation {
+    /// Total pads allocated across both directions.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.send.values().sum::<u32>() + self.recv.values().sum::<u32>()
+    }
+}
+
+/// Per-node EWMA monitor implementing the paper's Formulas 1–4.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::ewma::EwmaAllocator;
+/// use mgpu_types::NodeId;
+///
+/// let peers = vec![NodeId::CPU, NodeId::gpu(2)];
+/// let mut mon = EwmaAllocator::new(&peers, 0.9, 0.5);
+/// // A send-heavy interval toward GPU2:
+/// for _ in 0..90 { mon.observe_send(NodeId::gpu(2)); }
+/// for _ in 0..10 { mon.observe_recv(NodeId::CPU); }
+/// let alloc = mon.end_interval(32);
+/// assert_eq!(alloc.total(), 32);
+/// // The send direction won more than half the pool.
+/// assert!(alloc.send.values().sum::<u32>() > 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EwmaAllocator {
+    alpha: f64,
+    beta: f64,
+    peers: Vec<NodeId>,
+    /// Send-direction weight `S_i` (Formula 1).
+    s: f64,
+    /// Per-peer send weights `S^m_i` (Formula 3).
+    send_weights: Vec<f64>,
+    /// Per-peer recv weights `R^m_i`.
+    recv_weights: Vec<f64>,
+    /// Interval counters `SReq^m_i` / `RReq^m_i`.
+    send_counts: Vec<u64>,
+    recv_counts: Vec<u64>,
+    /// Guaranteed minimum pads per peer per direction.
+    floor: u32,
+    intervals: u64,
+}
+
+impl EwmaAllocator {
+    /// Creates a monitor for a node with the given peers and EWMA rates.
+    ///
+    /// Initial weights are uniform: the send direction starts at 0.5 and
+    /// each peer at `1 / peers` — matching the paper's even initial
+    /// allocation "similar to the Private mechanism".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty or the rates are outside `(0, 1]`.
+    #[must_use]
+    pub fn new(peers: &[NodeId], alpha: f64, beta: f64) -> Self {
+        assert!(!peers.is_empty(), "at least one peer required");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta in (0,1]");
+        let n = peers.len();
+        EwmaAllocator {
+            alpha,
+            beta,
+            peers: peers.to_vec(),
+            s: 0.5,
+            send_weights: vec![1.0 / n as f64; n],
+            recv_weights: vec![1.0 / n as f64; n],
+            send_counts: vec![0; n],
+            recv_counts: vec![0; n],
+            floor: 0,
+            intervals: 0,
+        }
+    }
+
+    /// Sets a guaranteed minimum of `floor` pads per peer per direction;
+    /// only the remainder of the pool is EWMA-partitioned. Proportional
+    /// allocation alone over-concentrates: a pair with a small *share* of
+    /// the traffic still receives full-size bursts, and a starved window
+    /// serializes pad generation for the whole burst. (The stall cost of a
+    /// burst is inversely proportional to window depth, so the optimal
+    /// depth grows like the square root of a pair's share — a floor plus
+    /// proportional flexible pool approximates that.)
+    #[must_use]
+    pub fn with_floor(mut self, floor: u32) -> Self {
+        self.floor = floor;
+        self
+    }
+
+    fn peer_index(&self, peer: NodeId) -> usize {
+        self.peers
+            .iter()
+            .position(|&p| p == peer)
+            .expect("peer registered with allocator")
+    }
+
+    /// Records one send request toward `peer` in the current interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` was not registered at construction.
+    pub fn observe_send(&mut self, peer: NodeId) {
+        let i = self.peer_index(peer);
+        self.send_counts[i] += 1;
+    }
+
+    /// Records one receive request from `peer` in the current interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` was not registered at construction.
+    pub fn observe_recv(&mut self, peer: NodeId) {
+        let i = self.peer_index(peer);
+        self.recv_counts[i] += 1;
+    }
+
+    /// Current send-direction weight `S_i`.
+    #[must_use]
+    pub fn send_weight(&self) -> f64 {
+        self.s
+    }
+
+    /// Number of completed intervals.
+    #[must_use]
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Closes the current interval: applies Formulas 1 and 3, resets the
+    /// counters, and returns the integer allocation of `total_buffers`
+    /// (Formulas 2 and 4 with largest-remainder rounding, on the pool
+    /// remaining above the per-peer floor).
+    pub fn end_interval(&mut self, total_buffers: u32) -> Allocation {
+        let send_total: u64 = self.send_counts.iter().sum();
+        let recv_total: u64 = self.recv_counts.iter().sum();
+
+        // Formula 1 — only meaningful when the interval saw any traffic.
+        if send_total + recv_total > 0 {
+            let measured = send_total as f64 / (send_total + recv_total) as f64;
+            self.s = (1.0 - self.alpha) * self.s + self.alpha * measured;
+        }
+
+        // Formula 3 per direction — skipped for a direction with no
+        // traffic (the measured fractions would be 0/0).
+        if send_total > 0 {
+            for (w, &c) in self.send_weights.iter_mut().zip(&self.send_counts) {
+                let measured = c as f64 / send_total as f64;
+                *w = (1.0 - self.beta) * *w + self.beta * measured;
+            }
+        }
+        if recv_total > 0 {
+            for (w, &c) in self.recv_weights.iter_mut().zip(&self.recv_counts) {
+                let measured = c as f64 / recv_total as f64;
+                *w = (1.0 - self.beta) * *w + self.beta * measured;
+            }
+        }
+
+        self.send_counts.iter_mut().for_each(|c| *c = 0);
+        self.recv_counts.iter_mut().for_each(|c| *c = 0);
+        self.intervals += 1;
+
+        // Reserve the floor, then apply Formula 2 (direction split) and
+        // Formula 4 (per-peer split) to the flexible remainder.
+        let n = self.peers.len() as u32;
+        let floor = self.floor.min(total_buffers / (2 * n));
+        let flexible = total_buffers - 2 * n * floor;
+        let split = partition(flexible, &[self.s, 1.0 - self.s]);
+        let (send_pool, recv_pool) = (split[0], split[1]);
+        // Buffers are partitioned by the square root of the EWMA weights:
+        // a pair's burst-drain stall scales inversely with its window
+        // depth, so for bursts of similar size arriving with probability
+        // w_m the expected stall Σ w_m / d_m is minimized by d_m ∝ √w_m.
+        let send_sqrt: Vec<f64> = self.send_weights.iter().map(|w| w.max(0.0).sqrt()).collect();
+        let recv_sqrt: Vec<f64> = self.recv_weights.iter().map(|w| w.max(0.0).sqrt()).collect();
+        let send_alloc = partition(send_pool, &send_sqrt);
+        let recv_alloc = partition(recv_pool, &recv_sqrt);
+
+        Allocation {
+            send: self
+                .peers
+                .iter()
+                .copied()
+                .zip(send_alloc.into_iter().map(|a| a + floor))
+                .collect(),
+            recv: self
+                .peers
+                .iter()
+                .copied()
+                .zip(recv_alloc.into_iter().map(|a| a + floor))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers() -> Vec<NodeId> {
+        vec![NodeId::CPU, NodeId::gpu(2), NodeId::gpu(3), NodeId::gpu(4)]
+    }
+
+    #[test]
+    fn partition_conserves_total() {
+        assert_eq!(partition(32, &[0.25; 4]), vec![8, 8, 8, 8]);
+        assert_eq!(partition(10, &[0.9, 0.1]), vec![9, 1]);
+        assert_eq!(partition(0, &[0.5, 0.5]), vec![0, 0]);
+        assert_eq!(partition(5, &[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn partition_handles_zero_weights() {
+        assert_eq!(partition(6, &[0.0, 0.0, 0.0]), vec![2, 2, 2]);
+        assert_eq!(partition(7, &[0.0, 0.0, 0.0]).iter().sum::<u32>(), 7);
+        // Negative weights are clamped.
+        assert_eq!(partition(4, &[-1.0, 1.0]), vec![0, 4]);
+    }
+
+    #[test]
+    fn formula_1_hand_computed() {
+        // S_0 = 0.5, α = 0.9; interval with 90 sends / 10 recvs:
+        // S_1 = 0.1*0.5 + 0.9*0.9 = 0.86.
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+        for _ in 0..90 {
+            m.observe_send(NodeId::gpu(2));
+        }
+        for _ in 0..10 {
+            m.observe_recv(NodeId::gpu(2));
+        }
+        m.end_interval(32);
+        assert!((m.send_weight() - 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula_3_hand_computed() {
+        // β = 0.5, initial per-peer weight 0.25. Interval sends: all to
+        // GPU2. New weight for GPU2 = 0.5*0.25 + 0.5*1.0 = 0.625; others
+        // 0.5*0.25 = 0.125.
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+        for _ in 0..40 {
+            m.observe_send(NodeId::gpu(2));
+        }
+        let alloc = m.end_interval(1000);
+        // S_1 = 0.1*0.5 + 0.9*1.0 = 0.95 -> send pool 950.
+        let send_pool: u32 = alloc.send.values().sum();
+        assert_eq!(send_pool, 950);
+        // Buffers split by sqrt-weights: √0.625 / (√0.625 + 3·√0.125).
+        let share = 0.625f64.sqrt() / (0.625f64.sqrt() + 3.0 * 0.125f64.sqrt());
+        let expected = (950.0 * share).round() as u32;
+        let got = alloc.send[&NodeId::gpu(2)];
+        assert!(
+            got.abs_diff(expected) <= 1,
+            "got {got}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn allocation_always_conserves_pool() {
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+        for round in 0..50u64 {
+            for (i, &peer) in p.iter().enumerate() {
+                for _ in 0..(round * i as u64) % 17 {
+                    m.observe_send(peer);
+                }
+                for _ in 0..(round + i as u64) % 5 {
+                    m.observe_recv(peer);
+                }
+            }
+            let alloc = m.end_interval(32);
+            assert_eq!(alloc.total(), 32, "round {round}");
+        }
+        assert_eq!(m.intervals(), 50);
+    }
+
+    #[test]
+    fn idle_interval_keeps_weights() {
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+        let before = m.send_weight();
+        let alloc = m.end_interval(32);
+        assert_eq!(m.send_weight(), before);
+        // Uniform weights -> even split of each direction's pool.
+        assert_eq!(alloc.send[&NodeId::CPU], 4);
+        assert_eq!(alloc.recv[&NodeId::gpu(4)], 4);
+    }
+
+    #[test]
+    fn skewed_traffic_shifts_allocation_over_time() {
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+        let mut last = None;
+        for _ in 0..10 {
+            for _ in 0..100 {
+                m.observe_send(NodeId::gpu(3));
+            }
+            for _ in 0..10 {
+                m.observe_recv(NodeId::CPU);
+            }
+            last = Some(m.end_interval(32));
+        }
+        let alloc = last.expect("ran intervals");
+        // GPU3 dominates the send direction.
+        let g3 = alloc.send[&NodeId::gpu(3)];
+        for (&peer, &pads) in &alloc.send {
+            if peer != NodeId::gpu(3) {
+                assert!(g3 > pads, "GPU3 ({g3}) should beat {peer} ({pads})");
+            }
+        }
+        // Receive pool is small but non-zero and concentrated on the CPU.
+        let recv_pool: u32 = alloc.recv.values().sum();
+        assert!(recv_pool < 8, "recv pool {recv_pool}");
+    }
+
+    #[test]
+    fn weights_remain_normalized() {
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+        for i in 0..20u64 {
+            for _ in 0..(i % 7) {
+                m.observe_send(p[(i % 4) as usize]);
+            }
+            for _ in 0..((i + 3) % 4) {
+                m.observe_recv(p[((i + 1) % 4) as usize]);
+            }
+            m.end_interval(32);
+            let ssum: f64 = m.send_weights.iter().sum();
+            let rsum: f64 = m.recv_weights.iter().sum();
+            assert!((ssum - 1.0).abs() < 1e-9, "send weights sum {ssum}");
+            assert!((rsum - 1.0).abs() < 1e-9, "recv weights sum {rsum}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered")]
+    fn unknown_peer_panics() {
+        let mut m = EwmaAllocator::new(&[NodeId::CPU], 0.9, 0.5);
+        m.observe_send(NodeId::gpu(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = EwmaAllocator::new(&[NodeId::CPU], 0.0, 0.5);
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn partition_sum_invariant(total in 0u32..500,
+                                       weights in proptest::collection::vec(0.0f64..10.0, 1..10)) {
+                let alloc = partition(total, &weights);
+                prop_assert_eq!(alloc.iter().sum::<u32>(), total);
+                prop_assert_eq!(alloc.len(), weights.len());
+            }
+
+            #[test]
+            fn allocator_conserves_under_arbitrary_traffic(
+                total in 1u32..256,
+                traffic in proptest::collection::vec((0usize..4, any::<bool>()), 0..200)) {
+                let p = vec![NodeId::CPU, NodeId::gpu(2), NodeId::gpu(3), NodeId::gpu(4)];
+                let mut m = EwmaAllocator::new(&p, 0.9, 0.5);
+                for (peer_idx, is_send) in traffic {
+                    if is_send {
+                        m.observe_send(p[peer_idx]);
+                    } else {
+                        m.observe_recv(p[peer_idx]);
+                    }
+                }
+                let alloc = m.end_interval(total);
+                prop_assert_eq!(alloc.total(), total);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Boot-time pairwise key establishment.
+//!
+//! The paper assumes "the CPU and GPUs exchange a key during the system
+//! boot" (§IV-A), brokered by the attested TEEs. This module models the
+//! result of that exchange: a deterministic derivation of one AES-128 key
+//! per unordered node pair from a boot-time master secret, so both
+//! endpoints of a pair hold the same session key without it ever crossing
+//! the (untrusted) interconnect in this model.
+
+use mgpu_crypto::Aes128;
+use mgpu_types::NodeId;
+
+/// Derives per-pair session keys from a boot-time master secret.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::key_exchange::KeyExchange;
+/// use mgpu_types::NodeId;
+///
+/// let kx = KeyExchange::boot([9u8; 16]);
+/// let a = NodeId::gpu(1);
+/// let b = NodeId::gpu(2);
+/// // Both endpoints derive the same key, independent of argument order.
+/// assert_eq!(kx.pair_key(a, b), kx.pair_key(b, a));
+/// // Different pairs get different keys.
+/// assert_ne!(kx.pair_key(a, b), kx.pair_key(a, NodeId::CPU));
+/// ```
+#[derive(Clone)]
+pub struct KeyExchange {
+    master: Aes128,
+}
+
+impl core::fmt::Debug for KeyExchange {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyExchange").finish_non_exhaustive()
+    }
+}
+
+impl KeyExchange {
+    /// Performs the boot-time exchange with the given master secret.
+    #[must_use]
+    pub fn boot(master_secret: [u8; 16]) -> Self {
+        KeyExchange {
+            master: Aes128::new(&master_secret),
+        }
+    }
+
+    /// The session key shared by the unordered pair `{a, b}`.
+    ///
+    /// Derived as `AES_master(min ‖ max ‖ "pairkey")` so both endpoints
+    /// agree regardless of who asks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` — a node has no channel to itself.
+    #[must_use]
+    pub fn pair_key(&self, a: NodeId, b: NodeId) -> [u8; 16] {
+        assert_ne!(a, b, "no self-channel keys");
+        let (lo, hi) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let mut block = [0u8; 16];
+        block[0..2].copy_from_slice(&lo.raw().to_be_bytes());
+        block[2..4].copy_from_slice(&hi.raw().to_be_bytes());
+        block[4..11].copy_from_slice(b"pairkey");
+        self.master.encrypt_block(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_derivation() {
+        let kx = KeyExchange::boot([1; 16]);
+        for a in NodeId::all(4) {
+            for b in NodeId::all(4) {
+                if a != b {
+                    assert_eq!(kx.pair_key(a, b), kx.pair_key(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_keys() {
+        let kx = KeyExchange::boot([1; 16]);
+        let mut keys = std::collections::HashSet::new();
+        for a in NodeId::all(8) {
+            for b in NodeId::all(8) {
+                if a.raw() < b.raw() {
+                    assert!(keys.insert(kx.pair_key(a, b)), "collision at {a},{b}");
+                }
+            }
+        }
+        // C(9, 2) = 36 unordered pairs.
+        assert_eq!(keys.len(), 36);
+    }
+
+    #[test]
+    fn different_master_different_keys() {
+        let k1 = KeyExchange::boot([1; 16]);
+        let k2 = KeyExchange::boot([2; 16]);
+        assert_ne!(
+            k1.pair_key(NodeId::CPU, NodeId::gpu(1)),
+            k2.pair_key(NodeId::CPU, NodeId::gpu(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-channel")]
+    fn self_pair_panics() {
+        let kx = KeyExchange::boot([1; 16]);
+        let _ = kx.pair_key(NodeId::gpu(1), NodeId::gpu(1));
+    }
+
+    #[test]
+    fn debug_does_not_leak_master() {
+        let kx = KeyExchange::boot([0x5A; 16]);
+        assert!(!format!("{kx:?}").contains("90")); // 0x5A
+    }
+}

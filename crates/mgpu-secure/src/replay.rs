@@ -1,0 +1,204 @@
+//! Replay-attack protection (paper §II-C).
+//!
+//! An attacker with physical access to the interconnect can resend an
+//! earlier ciphertext together with its metadata. The defense is
+//! two-sided:
+//!
+//! * The **sender** stores each outgoing message's `(MsgCTR, MsgMAC)` until
+//!   the receiver's ACK echoes it back; a mismatched or unsolicited ACK
+//!   indicates tampering on the return path.
+//! * The **receiver** tracks the highest counter accepted from each sender;
+//!   any message whose counter does not advance is a replay (counter-mode
+//!   pads are never reused, so a legitimate sender never repeats one).
+
+use crate::batching::MsgMac;
+use mgpu_types::{MgpuError, NodeId};
+use std::collections::BTreeMap;
+
+/// Sender-side outstanding-message table plus receiver-side freshness
+/// tracking for one node.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_secure::replay::ReplayGuard;
+/// use mgpu_types::NodeId;
+///
+/// let mut guard = ReplayGuard::new();
+/// let dst = NodeId::gpu(2);
+/// guard.register_outstanding(dst, 0, [7; 8]);
+/// // The receiver echoes the MAC back; freshness confirmed.
+/// guard.accept_ack(dst, 0, [7; 8]).unwrap();
+/// // A second, replayed ACK for the same counter is rejected.
+/// assert!(guard.accept_ack(dst, 0, [7; 8]).is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct ReplayGuard {
+    /// (peer, counter) -> MAC awaiting acknowledgement.
+    outstanding: BTreeMap<(NodeId, u64), MsgMac>,
+    /// Highest counter accepted from each sender.
+    last_accepted: BTreeMap<NodeId, u64>,
+    peak_outstanding: usize,
+    replays_detected: u64,
+}
+
+impl ReplayGuard {
+    /// Creates an empty guard.
+    #[must_use]
+    pub fn new() -> Self {
+        ReplayGuard::default()
+    }
+
+    /// Records an outgoing message awaiting its ACK.
+    pub fn register_outstanding(&mut self, dst: NodeId, ctr: u64, mac: MsgMac) {
+        self.outstanding.insert((dst, ctr), mac);
+        self.peak_outstanding = self.peak_outstanding.max(self.outstanding.len());
+    }
+
+    /// Processes an ACK from `dst` echoing `(ctr, mac)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MgpuError::Protocol`] — no message with that counter is
+    ///   outstanding (duplicate or forged ACK).
+    /// * [`MgpuError::AuthenticationFailed`] — the echoed MAC does not
+    ///   match what was sent (return-path tampering).
+    pub fn accept_ack(&mut self, dst: NodeId, ctr: u64, mac: MsgMac) -> Result<(), MgpuError> {
+        match self.outstanding.remove(&(dst, ctr)) {
+            None => Err(MgpuError::Protocol(format!(
+                "unsolicited ACK from {dst} for counter {ctr}"
+            ))),
+            Some(expected) if expected != mac => {
+                // Put it back: the real ACK may still arrive.
+                self.outstanding.insert((dst, ctr), expected);
+                Err(MgpuError::AuthenticationFailed {
+                    context: format!("ACK MAC mismatch from {dst} for counter {ctr}"),
+                })
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Checks an incoming message's counter for freshness and records it.
+    ///
+    /// Counters must strictly advance per sender (gaps are fine — the
+    /// `Shared` scheme produces them — but repeats and regressions are
+    /// replays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MgpuError::ReplayDetected`] when the counter does not
+    /// advance.
+    pub fn check_fresh(&mut self, src: NodeId, ctr: u64) -> Result<(), MgpuError> {
+        match self.last_accepted.get(&src) {
+            Some(&last) if ctr <= last => {
+                self.replays_detected += 1;
+                Err(MgpuError::ReplayDetected { counter: ctr })
+            }
+            _ => {
+                self.last_accepted.insert(src, ctr);
+                Ok(())
+            }
+        }
+    }
+
+    /// Messages currently awaiting acknowledgement.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// High-water mark of the outstanding table (hardware sizing metric).
+    #[must_use]
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak_outstanding
+    }
+
+    /// Replays detected so far.
+    #[must_use]
+    pub fn replays_detected(&self) -> u64 {
+        self.replays_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_roundtrip() {
+        let mut g = ReplayGuard::new();
+        let dst = NodeId::gpu(2);
+        g.register_outstanding(dst, 5, [1; 8]);
+        assert_eq!(g.outstanding(), 1);
+        g.accept_ack(dst, 5, [1; 8]).unwrap();
+        assert_eq!(g.outstanding(), 0);
+    }
+
+    #[test]
+    fn mismatched_ack_mac_is_authentication_failure() {
+        let mut g = ReplayGuard::new();
+        let dst = NodeId::gpu(2);
+        g.register_outstanding(dst, 5, [1; 8]);
+        let err = g.accept_ack(dst, 5, [2; 8]).unwrap_err();
+        assert!(matches!(err, MgpuError::AuthenticationFailed { .. }));
+        // The entry survives for the genuine ACK.
+        assert_eq!(g.outstanding(), 1);
+        g.accept_ack(dst, 5, [1; 8]).unwrap();
+    }
+
+    #[test]
+    fn unsolicited_ack_is_protocol_error() {
+        let mut g = ReplayGuard::new();
+        let err = g.accept_ack(NodeId::gpu(2), 9, [0; 8]).unwrap_err();
+        assert!(matches!(err, MgpuError::Protocol(_)));
+    }
+
+    #[test]
+    fn fresh_counters_advance() {
+        let mut g = ReplayGuard::new();
+        let src = NodeId::gpu(3);
+        g.check_fresh(src, 0).unwrap();
+        g.check_fresh(src, 1).unwrap();
+        // Gaps are legal (Shared scheme skips counters).
+        g.check_fresh(src, 10).unwrap();
+    }
+
+    #[test]
+    fn replayed_counter_is_detected() {
+        let mut g = ReplayGuard::new();
+        let src = NodeId::gpu(3);
+        g.check_fresh(src, 7).unwrap();
+        assert_eq!(
+            g.check_fresh(src, 7).unwrap_err(),
+            MgpuError::ReplayDetected { counter: 7 }
+        );
+        assert_eq!(
+            g.check_fresh(src, 3).unwrap_err(),
+            MgpuError::ReplayDetected { counter: 3 }
+        );
+        assert_eq!(g.replays_detected(), 2);
+    }
+
+    #[test]
+    fn freshness_is_per_sender() {
+        let mut g = ReplayGuard::new();
+        g.check_fresh(NodeId::gpu(1), 5).unwrap();
+        // A different sender may legitimately use the same counter value.
+        g.check_fresh(NodeId::gpu(2), 5).unwrap();
+    }
+
+    #[test]
+    fn peak_outstanding_tracks_high_water() {
+        let mut g = ReplayGuard::new();
+        let dst = NodeId::gpu(2);
+        for c in 0..10 {
+            g.register_outstanding(dst, c, [0; 8]);
+        }
+        for c in 0..10 {
+            g.accept_ack(dst, c, [0; 8]).unwrap();
+        }
+        assert_eq!(g.outstanding(), 0);
+        assert_eq!(g.peak_outstanding(), 10);
+    }
+}

@@ -1,0 +1,175 @@
+//! The `Private` scheme: fixed per pair-direction pad windows.
+//!
+//! Each node keeps two pad tables (paper Fig. 7a): a send table with one
+//! entry group per destination and a receive table with one entry group per
+//! source. Counters are perfectly synchronized per pair, so pre-generation
+//! works whenever the window has not been depleted by a burst. The cost is
+//! storage that grows quadratically with node count (paper Table I).
+
+use super::{OtpScheme, SendOutcome};
+use crate::otp::{OtpStats, PadWindow};
+use mgpu_crypto::engine::{AesEngine, PadTiming};
+use mgpu_types::{Cycle, Direction, NodeId, OtpSchemeKind, SystemConfig};
+use std::collections::BTreeMap;
+
+/// Private OTP buffer management (see module docs).
+#[derive(Debug)]
+pub struct PrivateScheme {
+    send: BTreeMap<NodeId, PadWindow>,
+    recv: BTreeMap<NodeId, PadWindow>,
+    stats: OtpStats,
+}
+
+impl PrivateScheme {
+    /// Builds the per-pair windows for node `me`, `config.security
+    /// .otp_multiplier` pads deep in each direction, issuing the initial
+    /// pad generations immediately (boot-time warmup).
+    #[must_use]
+    pub fn new(me: NodeId, config: &SystemConfig, engine: &mut AesEngine) -> Self {
+        let depth = config.security.otp_multiplier;
+        let mut send = BTreeMap::new();
+        let mut recv = BTreeMap::new();
+        for peer in me.peers(config.gpu_count) {
+            send.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
+            recv.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
+        }
+        PrivateScheme {
+            send,
+            recv,
+            stats: OtpStats::default(),
+        }
+    }
+
+    /// The window depth for `peer` in `dir` (test/inspection hook).
+    #[must_use]
+    pub fn depth(&self, peer: NodeId, dir: Direction) -> u32 {
+        match dir {
+            Direction::Send => self.send[&peer].depth(),
+            Direction::Recv => self.recv[&peer].depth(),
+        }
+    }
+}
+
+impl OtpScheme for PrivateScheme {
+    fn kind(&self) -> OtpSchemeKind {
+        OtpSchemeKind::Private
+    }
+
+    fn on_send(&mut self, now: Cycle, peer: NodeId, engine: &mut AesEngine) -> SendOutcome {
+        let window = self.send.get_mut(&peer).expect("peer within system");
+        let (timing, counter) = window.use_pad(now, engine);
+        self.stats.record(Direction::Send, timing, engine.latency());
+        SendOutcome { timing, counter }
+    }
+
+    fn on_recv(
+        &mut self,
+        now: Cycle,
+        peer: NodeId,
+        ctr: u64,
+        engine: &mut AesEngine,
+    ) -> PadTiming {
+        let window = self.recv.get_mut(&peer).expect("peer within system");
+        let timing = window.use_pad_for(ctr, now, engine);
+        self.stats.record(Direction::Recv, timing, engine.latency());
+        timing
+    }
+
+    fn stats(&self) -> &OtpStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::otp::PadClass;
+    use mgpu_types::Duration;
+
+    fn setup() -> (PrivateScheme, AesEngine) {
+        let cfg = SystemConfig::paper_4gpu();
+        let mut engine = AesEngine::new(cfg.security.aes_latency);
+        let scheme = PrivateScheme::new(NodeId::gpu(1), &cfg, &mut engine);
+        (scheme, engine)
+    }
+
+    #[test]
+    fn windows_exist_for_every_peer() {
+        let (s, _) = setup();
+        for peer in NodeId::gpu(1).peers(4) {
+            assert_eq!(s.depth(peer, Direction::Send), 4);
+            assert_eq!(s.depth(peer, Direction::Recv), 4);
+        }
+    }
+
+    #[test]
+    fn warm_sends_hit() {
+        let (mut s, mut e) = setup();
+        let out = s.on_send(Cycle::new(10_000), NodeId::gpu(2), &mut e);
+        assert_eq!(out.timing, PadTiming::Hit);
+        assert_eq!(out.counter, 0);
+        assert_eq!(s.stats().count(Direction::Send, PadClass::Hit), 1);
+    }
+
+    #[test]
+    fn per_pair_counters_are_independent() {
+        let (mut s, mut e) = setup();
+        let now = Cycle::new(10_000);
+        assert_eq!(s.on_send(now, NodeId::gpu(2), &mut e).counter, 0);
+        assert_eq!(s.on_send(now, NodeId::gpu(3), &mut e).counter, 0);
+        assert_eq!(s.on_send(now, NodeId::gpu(2), &mut e).counter, 1);
+        assert_eq!(s.on_send(now, NodeId::CPU, &mut e).counter, 0);
+    }
+
+    #[test]
+    fn burst_beyond_window_misses() {
+        let (mut s, mut e) = setup();
+        let now = Cycle::new(10_000);
+        let latency = Duration::cycles(40);
+        let mut classes = Vec::new();
+        for _ in 0..8 {
+            let out = s.on_send(now, NodeId::gpu(2), &mut e);
+            classes.push(crate::otp::OtpStats::classify(out.timing, latency));
+        }
+        assert_eq!(&classes[..4], &[PadClass::Hit; 4]);
+        assert!(classes[4..].iter().all(|&c| c == PadClass::Miss));
+        // A burst to a *different* peer still hits: windows are private.
+        let out = s.on_send(now, NodeId::gpu(3), &mut e);
+        assert_eq!(PadClass::from(out.timing), PadClass::Hit);
+    }
+
+    #[test]
+    fn recv_in_order_hits_out_of_order_misses() {
+        let (mut s, mut e) = setup();
+        assert!(s
+            .on_recv(Cycle::new(10_000), NodeId::gpu(2), 0, &mut e)
+            .latency_hidden());
+        // Counter 5 skips ahead (would happen under a peer's Shared
+        // counter): miss + resync.
+        assert_eq!(
+            s.on_recv(Cycle::new(20_000), NodeId::gpu(2), 5, &mut e),
+            PadTiming::Miss
+        );
+        assert!(s
+            .on_recv(Cycle::new(30_000), NodeId::gpu(2), 6, &mut e)
+            .latency_hidden());
+    }
+
+    #[test]
+    fn stats_track_both_directions() {
+        let (mut s, mut e) = setup();
+        let now = Cycle::new(10_000);
+        s.on_send(now, NodeId::gpu(2), &mut e);
+        s.on_recv(now, NodeId::gpu(3), 0, &mut e);
+        s.on_recv(now + Duration::cycles(100), NodeId::gpu(3), 1, &mut e);
+        assert_eq!(s.stats().total(Direction::Send), 1);
+        assert_eq!(s.stats().total(Direction::Recv), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "within system")]
+    fn unknown_peer_panics() {
+        let (mut s, mut e) = setup();
+        s.on_send(Cycle::ZERO, NodeId::gpu(9), &mut e);
+    }
+}

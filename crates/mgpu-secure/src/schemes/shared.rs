@@ -1,0 +1,196 @@
+//! The `Shared` scheme: one shared send counter per node.
+//!
+//! To avoid the `Private` scheme's quadratic storage, `Shared` (paper
+//! Fig. 7b) keeps a *single* message counter for all outgoing traffic. The
+//! pad seed omits the receiver ID, so one send-pad entry serves any
+//! destination — but only one pad can be speculated ahead, and on the
+//! receive side a node can only pre-generate correctly when the sender's
+//! previous message also came to it (back-to-back transfers). Any send to
+//! a third party advances the shared counter and invalidates every other
+//! receiver's speculation.
+//!
+//! The receive table gets the remaining buffer budget, split evenly across
+//! senders: with the paper's 4-GPU / 32-buffer configuration, 1 send entry
+//! and 31 receive entries (≈7 per sender). A deeper receive window lets a
+//! receiver survive *runs* of back-to-back messages: the pads for the
+//! sender's next `d` counters are all speculated, and an arriving counter
+//! within that range still hits (anything beyond — because the sender
+//! interleaved another destination more than `d` times — misses).
+
+use super::{OtpScheme, SendOutcome};
+use crate::otp::{OtpStats, PadWindow};
+use mgpu_crypto::engine::{AesEngine, PadTiming};
+use mgpu_types::{Cycle, Direction, NodeId, OtpSchemeKind, SystemConfig};
+use std::collections::BTreeMap;
+
+/// Shared OTP buffer management (see module docs).
+#[derive(Debug)]
+pub struct SharedScheme {
+    /// Single send window: global counter, destination-independent pad.
+    send: PadWindow,
+    /// Per-sender receive windows tracking that sender's *global* counter.
+    recv: BTreeMap<NodeId, PadWindow>,
+    stats: OtpStats,
+}
+
+impl SharedScheme {
+    /// Builds the scheme for node `me` with the same total buffer budget as
+    /// `Private` (paper §III-A comparison methodology): 1 send entry, the
+    /// rest split across receive windows.
+    #[must_use]
+    pub fn new(me: NodeId, config: &SystemConfig, engine: &mut AesEngine) -> Self {
+        let total = config.total_otp_buffers_per_node();
+        let peers: Vec<NodeId> = me.peers(config.gpu_count).collect();
+        let recv_budget = total.saturating_sub(1);
+        let per_peer = recv_budget / peers.len() as u32;
+        let mut recv = BTreeMap::new();
+        for &peer in &peers {
+            recv.insert(peer, PadWindow::new(per_peer, Cycle::ZERO, engine));
+        }
+        SharedScheme {
+            send: PadWindow::new(1, Cycle::ZERO, engine),
+            recv,
+            stats: OtpStats::default(),
+        }
+    }
+
+    /// The receive-window depth per sender (test/inspection hook).
+    #[must_use]
+    pub fn recv_depth(&self, peer: NodeId) -> u32 {
+        self.recv[&peer].depth()
+    }
+}
+
+impl OtpScheme for SharedScheme {
+    fn kind(&self) -> OtpSchemeKind {
+        OtpSchemeKind::Shared
+    }
+
+    fn on_send(&mut self, now: Cycle, _peer: NodeId, engine: &mut AesEngine) -> SendOutcome {
+        // One counter, one speculated pad, any destination.
+        let (timing, counter) = self.send.use_pad(now, engine);
+        self.stats.record(Direction::Send, timing, engine.latency());
+        SendOutcome { timing, counter }
+    }
+
+    fn on_recv(
+        &mut self,
+        now: Cycle,
+        peer: NodeId,
+        ctr: u64,
+        engine: &mut AesEngine,
+    ) -> PadTiming {
+        let window = self.recv.get_mut(&peer).expect("peer within system");
+        // The carried counter is the sender's shared counter; it may have
+        // advanced past our speculation window if the sender interleaved
+        // other destinations.
+        let timing = window.use_pad_at(ctr, now, engine);
+        self.stats.record(Direction::Recv, timing, engine.latency());
+        timing
+    }
+
+    fn stats(&self) -> &OtpStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::otp::PadClass;
+    use mgpu_types::Duration;
+
+    fn setup() -> (SharedScheme, AesEngine) {
+        let cfg = SystemConfig::paper_4gpu();
+        let mut engine = AesEngine::new(cfg.security.aes_latency);
+        let scheme = SharedScheme::new(NodeId::gpu(1), &cfg, &mut engine);
+        (scheme, engine)
+    }
+
+    #[test]
+    fn buffer_budget_matches_paper() {
+        // 4-GPU OTP 4x: 32 buffers -> 1 send + 31 recv -> 7 per sender.
+        let (s, _) = setup();
+        for peer in NodeId::gpu(1).peers(4) {
+            assert_eq!(s.recv_depth(peer), 7);
+        }
+    }
+
+    #[test]
+    fn send_counter_is_global_across_destinations() {
+        let (mut s, mut e) = setup();
+        let now = Cycle::new(10_000);
+        assert_eq!(s.on_send(now, NodeId::gpu(2), &mut e).counter, 0);
+        assert_eq!(s.on_send(now, NodeId::gpu(3), &mut e).counter, 1);
+        assert_eq!(s.on_send(now, NodeId::CPU, &mut e).counter, 2);
+    }
+
+    #[test]
+    fn single_send_entry_dies_under_bursts() {
+        let (mut s, mut e) = setup();
+        let now = Cycle::new(10_000);
+        let first = s.on_send(now, NodeId::gpu(2), &mut e);
+        assert_eq!(PadClass::from(first.timing), PadClass::Hit);
+        // Every further same-cycle send waits a full latency (or more —
+        // the single entry serializes generation): nothing is hidden.
+        let latency = Duration::cycles(40);
+        for _ in 0..8 {
+            let out = s.on_send(now, NodeId::gpu(2), &mut e);
+            assert_eq!(
+                crate::otp::OtpStats::classify(out.timing, latency),
+                PadClass::Miss
+            );
+        }
+    }
+
+    #[test]
+    fn spaced_sends_hit_regardless_of_destination() {
+        let (mut s, mut e) = setup();
+        let mut now = Cycle::new(10_000);
+        for peer in [NodeId::gpu(2), NodeId::gpu(3), NodeId::CPU, NodeId::gpu(4)] {
+            let out = s.on_send(now, peer, &mut e);
+            assert_eq!(PadClass::from(out.timing), PadClass::Hit, "peer {peer}");
+            now += Duration::cycles(100);
+        }
+    }
+
+    #[test]
+    fn recv_back_to_back_hits_interleaved_misses() {
+        let (mut s, mut e) = setup();
+        // Sender GPU2's global counters 0..=6 arrive back-to-back: within
+        // our 7-deep speculation window.
+        for c in 0..7u64 {
+            let t = s.on_recv(Cycle::new(10_000 + c * 100), NodeId::gpu(2), c, &mut e);
+            assert!(t.latency_hidden(), "counter {c}");
+        }
+        // The sender then talks to others 50 times; counter jumps to 57:
+        // outside the window -> miss.
+        let t = s.on_recv(Cycle::new(50_000), NodeId::gpu(2), 57, &mut e);
+        assert_eq!(t, PadTiming::Miss);
+        // Resynced: 58 hits again.
+        let t = s.on_recv(Cycle::new(60_000), NodeId::gpu(2), 58, &mut e);
+        assert!(t.latency_hidden());
+    }
+
+    #[test]
+    fn recv_small_gap_within_window_still_hits() {
+        let (mut s, mut e) = setup();
+        s.on_recv(Cycle::new(10_000), NodeId::gpu(2), 0, &mut e);
+        // Sender sent 3 messages elsewhere; counter 4 is still within the
+        // 7-deep speculation.
+        let t = s.on_recv(Cycle::new(20_000), NodeId::gpu(2), 4, &mut e);
+        assert!(t.latency_hidden());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, mut e) = setup();
+        let now = Cycle::new(10_000);
+        s.on_send(now, NodeId::gpu(2), &mut e);
+        s.on_send(now, NodeId::gpu(2), &mut e);
+        s.on_recv(now, NodeId::gpu(3), 0, &mut e);
+        assert_eq!(s.stats().total(Direction::Send), 2);
+        assert_eq!(s.stats().total(Direction::Recv), 1);
+        assert_eq!(s.stats().count(Direction::Send, PadClass::Miss), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by time; ties break by insertion order (FIFO), which
+//! keeps simulations deterministic regardless of payload type.
+
+use mgpu_types::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: ordered by `(time, seq)` ascending.
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::events::EventQueue;
+/// use mgpu_types::Cycle;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle::new(3), "late");
+/// q.schedule(Cycle::new(1), "early");
+/// q.schedule(Cycle::new(1), "early-second");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, vec!["early", "early-second", "late"]);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current simulation time — an
+    /// event cannot fire in the past.
+    pub fn schedule(&mut self, time: Cycle, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> core::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(30), 3);
+        q.schedule(Cycle::new(10), 1);
+        q.schedule(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle::new(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.schedule(Cycle::new(42), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle::new(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), ());
+        q.pop();
+        q.schedule(Cycle::new(5), ());
+    }
+
+    #[test]
+    fn same_time_scheduling_after_pop_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), 1);
+        q.pop();
+        q.schedule(Cycle::new(10), 2); // now == 10; same-cycle follow-up
+        assert_eq!(q.pop(), Some((Cycle::new(10), 2)));
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycle::new(7), "x");
+        q.schedule(Cycle::new(3), "y");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(3)));
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn output_is_sorted(times in proptest::collection::vec(0u64..1000, 1..200)) {
+                let mut q = EventQueue::new();
+                for &t in &times {
+                    q.schedule(Cycle::new(t), t);
+                }
+                let mut prev = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t.as_u64() >= prev);
+                    prev = t.as_u64();
+                }
+            }
+
+            #[test]
+            fn all_events_are_delivered(times in proptest::collection::vec(0u64..1000, 0..200)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(Cycle::new(t), i);
+                }
+                let mut seen = std::collections::HashSet::new();
+                while let Some((_, i)) = q.pop() {
+                    seen.insert(i);
+                }
+                prop_assert_eq!(seen.len(), times.len());
+            }
+        }
+    }
+}

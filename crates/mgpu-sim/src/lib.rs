@@ -1,0 +1,43 @@
+//! Discrete-event multi-GPU simulator substrate.
+//!
+//! The paper evaluates on MGPUSim, a cycle-level multi-GPU simulator. This
+//! crate provides the equivalent substrate for this reproduction: a
+//! deterministic discrete-event engine plus the structural components the
+//! communication study needs — bandwidth-serialized interconnect links
+//! ([`link`]), the CPU-hub + all-to-all-GPU topology ([`topology`]),
+//! set-associative write-back caches ([`cache`]), a fixed-latency HBM model
+//! ([`dram`]), and an access-counter page-migration policy ([`page`]).
+//!
+//! The detailed shader pipelines of a real GPU are intentionally abstracted
+//! away: what the paper measures — OTP buffer behaviour and security-
+//! metadata bandwidth — depends on the *request arrival process* at the
+//! communication layer, which `mgpu-workloads` models directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu_sim::events::EventQueue;
+//! use mgpu_types::Cycle;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle::new(10), "b");
+//! q.schedule(Cycle::new(5), "a");
+//! assert_eq!(q.pop(), Some((Cycle::new(5), "a")));
+//! assert_eq!(q.pop(), Some((Cycle::new(10), "b")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dram;
+pub mod events;
+pub mod link;
+pub mod page;
+pub mod stats;
+pub mod topology;
+
+pub use cache::{Cache, CacheConfig};
+pub use events::EventQueue;
+pub use link::Link;
+pub use topology::Topology;

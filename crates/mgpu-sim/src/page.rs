@@ -1,0 +1,198 @@
+//! Access-counter-based page migration policy.
+//!
+//! The paper adopts "an access counter-based page migration policy, similar
+//! to the approach used in NVIDIA Volta GPUs" (§V-A): a remote page is
+//! migrated to the accessing GPU once its access count crosses a threshold;
+//! below the threshold, accesses are serviced as cacheline-granularity
+//! direct block transfers. Migration moves the whole 4 KB page through the
+//! same (secure) channel and remaps it locally.
+
+use mgpu_types::NodeId;
+use std::collections::HashMap;
+
+/// Size of a migratable page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The decision the policy makes for one remote access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationDecision {
+    /// Service this access as a 64 B direct block transfer.
+    DirectAccess,
+    /// Threshold reached: migrate the 4 KB page to the accessor, then
+    /// service locally.
+    Migrate,
+    /// The page is already local to the accessor (after a migration).
+    Local,
+}
+
+/// Tracks page residency and per-(page, accessor) access counters.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::page::{MigrationDecision, PageTracker};
+/// use mgpu_types::NodeId;
+///
+/// let mut tracker = PageTracker::new(3);
+/// let gpu1 = NodeId::gpu(1);
+/// let gpu2 = NodeId::gpu(2);
+/// // Page 0x5000 starts on GPU2; GPU1 touches it repeatedly.
+/// tracker.set_home(0x5000, gpu2);
+/// assert_eq!(tracker.on_access(0x5000, gpu1), MigrationDecision::DirectAccess);
+/// assert_eq!(tracker.on_access(0x5000, gpu1), MigrationDecision::DirectAccess);
+/// assert_eq!(tracker.on_access(0x5000, gpu1), MigrationDecision::Migrate);
+/// assert_eq!(tracker.on_access(0x5000, gpu1), MigrationDecision::Local);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTracker {
+    threshold: u32,
+    /// Current home node per page base address.
+    home: HashMap<u64, NodeId>,
+    /// Access counts per (page, accessor).
+    counters: HashMap<(u64, NodeId), u32>,
+    migrations: u64,
+}
+
+impl PageTracker {
+    /// Creates a tracker that migrates a page on its `threshold`-th remote
+    /// access by the same node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold > 0, "migration threshold must be >= 1");
+        PageTracker {
+            threshold,
+            home: HashMap::new(),
+            counters: HashMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// Aligns an address down to its page base.
+    #[must_use]
+    pub fn page_base(addr: u64) -> u64 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// Declares `node` the home of the page containing `addr`.
+    pub fn set_home(&mut self, addr: u64, node: NodeId) {
+        self.home.insert(Self::page_base(addr), node);
+    }
+
+    /// Current home of the page containing `addr`, if known.
+    #[must_use]
+    pub fn home_of(&self, addr: u64) -> Option<NodeId> {
+        self.home.get(&Self::page_base(addr)).copied()
+    }
+
+    /// Records an access by `accessor` to the page containing `addr` and
+    /// returns the policy decision. A [`MigrationDecision::Migrate`] result
+    /// updates residency immediately (the caller models the transfer cost).
+    pub fn on_access(&mut self, addr: u64, accessor: NodeId) -> MigrationDecision {
+        let page = Self::page_base(addr);
+        let home = *self.home.entry(page).or_insert(accessor);
+        if home == accessor {
+            return MigrationDecision::Local;
+        }
+        let count = self.counters.entry((page, accessor)).or_insert(0);
+        *count += 1;
+        if *count >= self.threshold {
+            self.home.insert(page, accessor);
+            // Reset counters for this page: a fresh placement.
+            self.counters.retain(|(p, _), _| *p != page);
+            self.migrations += 1;
+            MigrationDecision::Migrate
+        } else {
+            MigrationDecision::DirectAccess
+        }
+    }
+
+    /// Total migrations performed.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_alignment() {
+        assert_eq!(PageTracker::page_base(0), 0);
+        assert_eq!(PageTracker::page_base(4095), 0);
+        assert_eq!(PageTracker::page_base(4096), 4096);
+        assert_eq!(PageTracker::page_base(0x5A3F), 0x5000);
+    }
+
+    #[test]
+    fn local_access_never_migrates() {
+        let mut t = PageTracker::new(1);
+        let g = NodeId::gpu(1);
+        t.set_home(0x1000, g);
+        for _ in 0..10 {
+            assert_eq!(t.on_access(0x1000, g), MigrationDecision::Local);
+        }
+        assert_eq!(t.migrations(), 0);
+    }
+
+    #[test]
+    fn first_toucher_becomes_home() {
+        let mut t = PageTracker::new(2);
+        let g = NodeId::gpu(3);
+        assert_eq!(t.on_access(0x9000, g), MigrationDecision::Local);
+        assert_eq!(t.home_of(0x9000), Some(g));
+    }
+
+    #[test]
+    fn migration_after_threshold() {
+        let mut t = PageTracker::new(3);
+        let owner = NodeId::gpu(1);
+        let remote = NodeId::gpu(2);
+        t.set_home(0x2000, owner);
+        assert_eq!(t.on_access(0x2000, remote), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x2FFF, remote), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x2800, remote), MigrationDecision::Migrate);
+        assert_eq!(t.home_of(0x2000), Some(remote));
+        assert_eq!(t.migrations(), 1);
+        // Original owner is now remote and must count up again.
+        assert_eq!(t.on_access(0x2000, owner), MigrationDecision::DirectAccess);
+    }
+
+    #[test]
+    fn counters_are_per_accessor() {
+        let mut t = PageTracker::new(3);
+        t.set_home(0x2000, NodeId::CPU);
+        let a = NodeId::gpu(1);
+        let b = NodeId::gpu(2);
+        assert_eq!(t.on_access(0x2000, a), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x2000, b), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x2000, a), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x2000, b), MigrationDecision::DirectAccess);
+        // a reaches 3 first.
+        assert_eq!(t.on_access(0x2000, a), MigrationDecision::Migrate);
+    }
+
+    #[test]
+    fn different_pages_are_independent() {
+        let mut t = PageTracker::new(2);
+        t.set_home(0x1000, NodeId::CPU);
+        t.set_home(0x2000, NodeId::CPU);
+        let g = NodeId::gpu(1);
+        assert_eq!(t.on_access(0x1000, g), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x2000, g), MigrationDecision::DirectAccess);
+        assert_eq!(t.on_access(0x1000, g), MigrationDecision::Migrate);
+        // 0x2000 still below threshold for a second access... now at 2.
+        assert_eq!(t.on_access(0x2000, g), MigrationDecision::Migrate);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_threshold_panics() {
+        let _ = PageTracker::new(0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Small statistics helpers used across the simulator and experiments:
+//! histograms with custom bucket edges (for the paper's burstiness
+//! figures) and running means.
+
+use core::fmt;
+
+/// A histogram over `u64` samples with caller-defined bucket edges.
+///
+/// Buckets are `[edge[i], edge[i+1])`, plus a final overflow bucket
+/// `[edge[last], ∞)`. The paper's Figs. 15/16 use edges
+/// `[0, 40, 160, 640, 2560]` cycles.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(&[0, 40, 160, 640, 2560]);
+/// h.record(25);
+/// h.record(100);
+/// h.record(100_000);
+/// assert_eq!(h.counts(), &[1, 1, 0, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(edges: &[u64]) -> Self {
+        assert!(!edges.is_empty(), "at least one edge required");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len()],
+        }
+    }
+
+    /// The bucket edges used by the paper's burst-interval figures.
+    #[must_use]
+    pub fn paper_burst_edges() -> Self {
+        Histogram::new(&[0, 40, 160, 640, 2560])
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is below the first edge.
+    pub fn record(&mut self, value: u64) {
+        assert!(value >= self.edges[0], "sample below histogram range");
+        let bucket = match self.edges.binary_search(&value) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.counts[bucket] += 1;
+    }
+
+    /// Per-bucket counts (last bucket is the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bucket fractions in [0, 1]; all zeros when empty.
+    #[must_use]
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Human-readable bucket labels, e.g. `[40, 160)` and `[2560, inf)`.
+    #[must_use]
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::with_capacity(self.edges.len());
+        for w in self.edges.windows(2) {
+            labels.push(format!("[{}, {})", w[0], w[1]));
+        }
+        labels.push(format!("[{}, inf)", self.edges.last().expect("non-empty")));
+        labels
+    }
+
+    /// Merges another histogram with identical edges into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge vectors differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "histograms must share edges");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fractions = self.fractions();
+        for (label, frac) in self.labels().iter().zip(fractions.iter()) {
+            writeln!(f, "{label:>16}: {:5.1}%", frac * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// An online mean over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::stats::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// m.add(1.0);
+/// m.add(3.0);
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningMean::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Current mean; zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Geometric mean over positive samples — the conventional way to average
+/// normalized execution times across benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert!(geometric_mean(&[]).is_none());
+/// ```
+#[must_use]
+pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&s| s <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|s| s.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment() {
+        let mut h = Histogram::paper_burst_edges();
+        h.record(0);
+        h.record(39);
+        h.record(40);
+        h.record(159);
+        h.record(160);
+        h.record(2559);
+        h.record(2560);
+        h.record(1_000_000);
+        assert_eq!(h.counts(), &[2, 2, 1, 1, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(&[0, 10]);
+        for v in [1, 2, 3, 11] {
+            h.record(v);
+        }
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f, vec![0.75, 0.25]);
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = Histogram::new(&[0, 10]);
+        assert_eq!(h.fractions(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn labels_format() {
+        let h = Histogram::new(&[0, 40, 160]);
+        assert_eq!(h.labels(), vec!["[0, 40)", "[40, 160)", "[160, inf)"]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(&[0, 10]);
+        let mut b = Histogram::new(&[0, 10]);
+        a.record(5);
+        b.record(5);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share edges")]
+    fn merge_rejects_mismatched_edges() {
+        let mut a = Histogram::new(&[0, 10]);
+        let b = Histogram::new(&[0, 20]);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_edges_panic() {
+        let _ = Histogram::new(&[0, 10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below histogram range")]
+    fn sample_below_range_panics() {
+        let mut h = Histogram::new(&[10, 20]);
+        h.record(5);
+    }
+
+    #[test]
+    fn running_mean_empty_is_zero() {
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn geometric_mean_of_identical_values() {
+        let g = geometric_mean(&[1.195, 1.195, 1.195]).unwrap();
+        assert!((g - 1.195).abs() < 1e-12);
+    }
+}

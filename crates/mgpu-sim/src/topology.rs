@@ -1,0 +1,331 @@
+//! System topology: CPU hub plus switch-fabric GPU interconnect.
+//!
+//! The paper's target architecture (Fig. 2, Table III) connects every GPU
+//! to the CPU over PCIe v4 (32 GB/s) and GPUs to each other over an
+//! NVLink2-class fabric (50 GB/s). At the 1 GHz shader clock those are
+//! 32 B/cycle and 50 B/cycle.
+//!
+//! Bandwidth is a *per-port* resource, as in real NVLink/PCIe systems: all
+//! data a node sends shares its **egress port**, and all data it receives
+//! shares its **ingress port** (CPU ports run at PCIe speed, GPU ports at
+//! NVLink speed; a transfer is limited by the slower of the two ports it
+//! crosses). Small request packets and trailing MACs travel on per-pair
+//! **control virtual channels**, separate from bulk data — mirroring the
+//! request/response VC split real interconnects use for protocol deadlock
+//! freedom, and keeping tiny control messages from head-of-line blocking
+//! behind bulk data in the FIFO occupancy model.
+
+use crate::link::{Link, TrafficClass, TrafficTotals};
+use mgpu_types::{ByteSize, Cycle, Duration, NodeId, PairId, SystemConfig};
+use std::collections::HashMap;
+
+/// The full interconnect: per-node data ports plus per-pair control VCs.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::topology::Topology;
+/// use mgpu_sim::link::TrafficClass;
+/// use mgpu_types::{ByteSize, Cycle, NodeId, PairId, SystemConfig};
+///
+/// let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+/// let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(2));
+/// let arrival = topo.transmit(
+///     pair, Cycle::ZERO, &[(ByteSize::CACHELINE, TrafficClass::Data)]);
+/// assert!(arrival > Cycle::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct Topology {
+    /// Outgoing data port per node (accounts traffic totals).
+    egress: HashMap<NodeId, Link>,
+    /// Incoming data port per node (occupancy only; zero latency so the
+    /// propagation delay is charged once, at egress).
+    ingress: HashMap<NodeId, Link>,
+    /// Small-message control VC per directed pair.
+    ctrl: HashMap<PairId, Link>,
+    gpu_count: u16,
+}
+
+impl Topology {
+    /// Builds the topology for `config`.
+    #[must_use]
+    pub fn new(config: &SystemConfig) -> Self {
+        let mut egress = HashMap::new();
+        let mut ingress = HashMap::new();
+        let mut ctrl = HashMap::new();
+        for node in NodeId::all(config.gpu_count) {
+            let port_bw = if node.is_cpu() {
+                config.pcie_bytes_per_cycle
+            } else {
+                config.gpu_link_bytes_per_cycle
+            };
+            egress.insert(node, Link::new(port_bw, config.link_latency));
+            ingress.insert(node, Link::new(port_bw, Duration::ZERO));
+            for dst in node.peers(config.gpu_count) {
+                let pair = PairId::new(node, dst);
+                let bw = if pair.involves_cpu() {
+                    config.pcie_bytes_per_cycle
+                } else {
+                    config.gpu_link_bytes_per_cycle
+                };
+                ctrl.insert(pair, Link::new(bw, config.link_latency));
+            }
+        }
+        Topology {
+            egress,
+            ingress,
+            ctrl,
+            gpu_count: config.gpu_count,
+        }
+    }
+
+    /// The egress data port of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the system.
+    #[must_use]
+    pub fn egress(&self, node: NodeId) -> &Link {
+        self.egress.get(&node).expect("node within system")
+    }
+
+    /// The ingress data port of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the system.
+    #[must_use]
+    pub fn ingress(&self, node: NodeId) -> &Link {
+        self.ingress.get(&node).expect("node within system")
+    }
+
+    /// The control VC for `pair`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` references a node outside the system.
+    #[must_use]
+    pub fn ctrl(&self, pair: PairId) -> &Link {
+        self.ctrl.get(&pair).expect("pair within system")
+    }
+
+    /// Transmits a multi-part data message from `pair.src` to `pair.dst`:
+    /// serializes through the source's egress port (propagation latency
+    /// charged there), then through the destination's ingress port.
+    /// Returns when the last byte is received.
+    pub fn transmit(
+        &mut self,
+        pair: PairId,
+        now: Cycle,
+        parts: &[(ByteSize, TrafficClass)],
+    ) -> Cycle {
+        let at_ingress = self
+            .egress
+            .get_mut(&pair.src)
+            .expect("src within system")
+            .transmit_parts(now, parts);
+        let total: ByteSize = parts.iter().map(|(b, _)| *b).sum();
+        self.ingress
+            .get_mut(&pair.dst)
+            .expect("dst within system")
+            .occupy(at_ingress, total)
+    }
+
+    /// Books only the egress half of a data transmission; returns when the
+    /// last byte arrives at the destination's ingress port. Use together
+    /// with [`Topology::ingress_occupy`] when the ingress booking should
+    /// happen at arrival time (event-driven callers).
+    pub fn transmit_egress(
+        &mut self,
+        src: NodeId,
+        now: Cycle,
+        parts: &[(ByteSize, TrafficClass)],
+    ) -> Cycle {
+        self.egress
+            .get_mut(&src)
+            .expect("src within system")
+            .transmit_parts(now, parts)
+    }
+
+    /// Books `bytes` on `dst`'s ingress port at `now`; returns when the
+    /// last byte is through.
+    pub fn ingress_occupy(&mut self, dst: NodeId, now: Cycle, bytes: ByteSize) -> Cycle {
+        self.ingress
+            .get_mut(&dst)
+            .expect("dst within system")
+            .occupy(now, bytes)
+    }
+
+    /// Transmits a message over the pair's control VC (requests, trailing
+    /// MACs).
+    pub fn transmit_ctrl(
+        &mut self,
+        pair: PairId,
+        now: Cycle,
+        parts: &[(ByteSize, TrafficClass)],
+    ) -> Cycle {
+        self.ctrl
+            .get_mut(&pair)
+            .expect("pair within system")
+            .transmit_parts(now, parts)
+    }
+
+    /// Charges background (non-queueing) traffic on a pair's control VC.
+    pub fn charge_background(&mut self, pair: PairId, bytes: ByteSize, class: TrafficClass) {
+        self.ctrl
+            .get_mut(&pair)
+            .expect("pair within system")
+            .charge_background(bytes, class);
+    }
+
+    /// Number of GPUs in the system.
+    #[must_use]
+    pub fn gpu_count(&self) -> u16 {
+        self.gpu_count
+    }
+
+    /// Number of directed control VCs.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.ctrl.len()
+    }
+
+    /// Aggregated traffic totals across the system. Data bytes are
+    /// accounted once (at egress); control/ACK bytes at their VC.
+    #[must_use]
+    pub fn traffic_totals(&self) -> TrafficTotals {
+        let mut totals = TrafficTotals::default();
+        for link in self.egress.values().chain(self.ctrl.values()) {
+            totals.merge(link.totals());
+        }
+        totals
+    }
+
+    /// Iterates over `(node, egress port)` entries in a deterministic
+    /// order — the per-node data-traffic breakdown.
+    pub fn iter_egress(&self) -> impl Iterator<Item = (NodeId, &Link)> {
+        let mut nodes: Vec<_> = self.egress.keys().copied().collect();
+        nodes.sort();
+        nodes.into_iter().map(move |n| (n, &self.egress[&n]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_gpu_port_and_vc_counts() {
+        let topo = Topology::new(&SystemConfig::paper_4gpu());
+        assert_eq!(topo.link_count(), 20); // 5 nodes x 4 peers, directed
+        assert_eq!(topo.gpu_count(), 4);
+        assert_eq!(topo.iter_egress().count(), 5);
+    }
+
+    #[test]
+    fn port_speeds_follow_node_kind() {
+        let topo = Topology::new(&SystemConfig::paper_4gpu());
+        assert_eq!(topo.egress(NodeId::CPU).bandwidth(), 32);
+        assert_eq!(topo.ingress(NodeId::CPU).bandwidth(), 32);
+        assert_eq!(topo.egress(NodeId::gpu(1)).bandwidth(), 50);
+        assert_eq!(
+            topo.ctrl(PairId::new(NodeId::CPU, NodeId::gpu(1))).bandwidth(),
+            32
+        );
+        assert_eq!(
+            topo.ctrl(PairId::new(NodeId::gpu(1), NodeId::gpu(2))).bandwidth(),
+            50
+        );
+    }
+
+    #[test]
+    fn gpu_to_cpu_is_pcie_limited_at_ingress() {
+        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let pair = PairId::new(NodeId::gpu(1), NodeId::CPU);
+        // 64 B: egress at 50 B/cy (2 cy) + 100 cy latency, then CPU ingress
+        // at 32 B/cy (2 cy).
+        let arrival =
+            topo.transmit(pair, Cycle::ZERO, &[(ByteSize::CACHELINE, TrafficClass::Data)]);
+        assert_eq!(arrival, Cycle::new(2 + 100 + 2));
+    }
+
+    #[test]
+    fn egress_port_is_shared_across_destinations() {
+        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        // 500 B to GPU2 occupies GPU1's egress for 10 cycles.
+        topo.transmit(
+            PairId::new(NodeId::gpu(1), NodeId::gpu(2)),
+            Cycle::ZERO,
+            &[(ByteSize::new(500), TrafficClass::Data)],
+        );
+        // A message to a *different* destination queues behind it.
+        let b = topo.transmit(
+            PairId::new(NodeId::gpu(1), NodeId::gpu(3)),
+            Cycle::ZERO,
+            &[(ByteSize::new(50), TrafficClass::Data)],
+        );
+        assert_eq!(b, Cycle::new(10 + 1 + 100 + 1));
+    }
+
+    #[test]
+    fn ingress_port_is_shared_across_sources() {
+        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        // Two 5000 B messages from different sources to GPU1 arriving
+        // together: the second serializes behind the first at ingress.
+        let a = topo.transmit(
+            PairId::new(NodeId::gpu(2), NodeId::gpu(1)),
+            Cycle::ZERO,
+            &[(ByteSize::new(5000), TrafficClass::Data)],
+        );
+        let b = topo.transmit(
+            PairId::new(NodeId::gpu(3), NodeId::gpu(1)),
+            Cycle::ZERO,
+            &[(ByteSize::new(5000), TrafficClass::Data)],
+        );
+        assert_eq!(a, Cycle::new(100 + 100 + 100));
+        assert_eq!(b, Cycle::new(100 + 100 + 200));
+    }
+
+    #[test]
+    fn ctrl_vc_does_not_contend_with_data() {
+        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(2));
+        for _ in 0..100 {
+            topo.transmit(pair, Cycle::ZERO, &[(ByteSize::CACHELINE, TrafficClass::Data)]);
+        }
+        // A control message still goes through immediately.
+        let arrival =
+            topo.transmit_ctrl(pair, Cycle::ZERO, &[(ByteSize::new(16), TrafficClass::Data)]);
+        assert_eq!(arrival, Cycle::new(1 + 100));
+    }
+
+    #[test]
+    fn traffic_totals_count_data_once() {
+        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        topo.transmit(
+            PairId::new(NodeId::gpu(1), NodeId::gpu(2)),
+            Cycle::ZERO,
+            &[(ByteSize::new(64), TrafficClass::Data)],
+        );
+        topo.transmit_ctrl(
+            PairId::new(NodeId::gpu(1), NodeId::gpu(2)),
+            Cycle::ZERO,
+            &[(ByteSize::new(16), TrafficClass::Data)],
+        );
+        topo.charge_background(
+            PairId::new(NodeId::gpu(2), NodeId::gpu(1)),
+            ByteSize::new(16),
+            TrafficClass::Ack,
+        );
+        let totals = topo.traffic_totals();
+        assert_eq!(totals.get(TrafficClass::Data).as_u64(), 80);
+        assert_eq!(totals.get(TrafficClass::Ack).as_u64(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "within system")]
+    fn out_of_system_pair_panics() {
+        let topo = Topology::new(&SystemConfig::paper_4gpu());
+        let _ = topo.ctrl(PairId::new(NodeId::gpu(1), NodeId::gpu(9)));
+    }
+}

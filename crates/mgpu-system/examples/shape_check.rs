@@ -1,0 +1,41 @@
+//! Calibration dashboard: normalized execution times for every scheme on
+//! a representative benchmark subset — the quickest way to eyeball the
+//! paper's orderings after a model change.
+//!
+//! ```text
+//! cargo run --release -p mgpu-system --example shape_check
+//! ```
+
+use mgpu_system::runner::{compare_schemes, configs};
+use mgpu_types::SystemConfig;
+use mgpu_workloads::Benchmark;
+
+fn main() {
+    let base = SystemConfig::paper_4gpu();
+    let cfgs = vec![
+        ("private4".to_string(), configs::private(&base, 4)),
+        ("private16".to_string(), configs::private(&base, 16)),
+        ("shared".to_string(), configs::shared(&base, 4)),
+        ("cached".to_string(), configs::cached(&base, 4)),
+        ("dynamic".to_string(), configs::dynamic(&base, 4)),
+        ("batching".to_string(), configs::batching(&base, 4)),
+    ];
+    println!("{:8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}", "bench", "priv4", "priv16", "shared", "cached", "dyn", "batch");
+    let mut sums = vec![0.0; 6];
+    let benches = [Benchmark::MatrixTranspose, Benchmark::PageRank, Benchmark::Spmv, Benchmark::MatrixMultiplication, Benchmark::Atax, Benchmark::Fft, Benchmark::Kmeans, Benchmark::FloydWarshall, Benchmark::Aes, Benchmark::Fir];
+    for b in benches {
+        let rs = compare_schemes(b, &cfgs, 1500, 42);
+        print!("{:8}", b.abbrev());
+        for (i, r) in rs.iter().enumerate() {
+            print!(" {:9.3}", r.normalized_time);
+            sums[i] += r.normalized_time.ln();
+        }
+        println!();
+    }
+    print!("{:8}", "geomean");
+    for s in &sums { print!(" {:9.3}", (s / benches.len() as f64).exp()); }
+    println!();
+    // traffic ratios
+    let rs = compare_schemes(Benchmark::MatrixTranspose, &cfgs, 1500, 42);
+    println!("mt traffic: priv4={:.3} batch={:.3}", rs[0].traffic_ratio, rs[5].traffic_ratio);
+}

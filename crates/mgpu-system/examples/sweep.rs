@@ -1,0 +1,51 @@
+//! Calibration sweep over workload parameters (burst size, spacing,
+//! inter-burst gap, kernel MLP): prints the scheme-ordering vector for
+//! each point so parameter regions reproducing the paper's orderings are
+//! easy to spot.
+//!
+//! ```text
+//! cargo run --release -p mgpu-system --example sweep
+//! ```
+use mgpu_system::runner::configs;
+use mgpu_system::Simulation;
+use mgpu_types::{OtpSchemeKind, SystemConfig};
+use mgpu_workloads::{Benchmark, WorkloadParams};
+
+fn main() {
+    let base = SystemConfig::paper_4gpu();
+    println!("{:>4} {:>5} {:>5} {:>4} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "out", "burst", "intra", "intr", "priv4", "priv16", "shared", "cached", "dyn", "batch");
+    for outstanding in [24u32, 48, 96] {
+        for burst in [24u32, 40] {
+            for intra in [1u64, 2] {
+                for inter in [60u64, 120] {
+                    let params = WorkloadParams {
+                        burst_len_mean: burst,
+                        intra_burst_gap: intra,
+                        inter_burst_gap_mean: inter,
+                        locality: 0.7,
+                        cpu_weight: 0.1,
+                        migration_fraction: 0.03,
+                        phase_len: 60_000,
+                        duty_variation: 0.6,
+                        outstanding,
+                    };
+                    let mut uns = base.clone();
+                    uns.security.scheme = OtpSchemeKind::Unsecure;
+                    let b = Simulation::new(uns, Benchmark::MatrixTranspose, 42)
+                        .with_workload_params(params).run_for_requests(1200);
+                    let mut row = Vec::new();
+                    for cfg in [configs::private(&base, 4), configs::private(&base, 16),
+                                configs::shared(&base, 4), configs::cached(&base, 4),
+                                configs::dynamic(&base, 4), configs::batching(&base, 4)] {
+                        let r = Simulation::new(cfg, Benchmark::MatrixTranspose, 42)
+                            .with_workload_params(params).run_for_requests(1200);
+                        row.push(r.total_cycles.as_u64() as f64 / b.total_cycles.as_u64() as f64);
+                    }
+                    println!("{:>4} {:>5} {:>5} {:>4} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                        outstanding, burst, intra, inter, row[0], row[1], row[2], row[3], row[4], row[5]);
+                }
+            }
+        }
+    }
+}

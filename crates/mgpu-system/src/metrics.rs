@@ -1,0 +1,140 @@
+//! Run metrics collected by the simulation.
+
+use mgpu_secure::OtpStats;
+use mgpu_sim::link::TrafficTotals;
+use mgpu_types::{Duration, OtpSchemeKind};
+use mgpu_workloads::Benchmark;
+
+/// Everything one simulation run measures.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The modeled benchmark.
+    pub benchmark: Benchmark,
+    /// OTP scheme in effect.
+    pub scheme: OtpSchemeKind,
+    /// Whether metadata batching was enabled.
+    pub batching: bool,
+    /// Execution time: the cycle at which the last request's data became
+    /// usable.
+    pub total_cycles: Duration,
+    /// Remote requests completed.
+    pub requests: u64,
+    /// 64 B blocks transferred (page migrations count 64 each).
+    pub blocks: u64,
+    /// Per-class interconnect traffic across every link.
+    pub traffic: TrafficTotals,
+    /// Merged OTP hit/partial/miss statistics across all nodes.
+    pub otp: OtpStats,
+    /// ACK messages transmitted.
+    pub acks_sent: u64,
+    /// Total pad generations issued to the AES engines.
+    pub pads_issued: u64,
+    /// Mean blocks per closed batch (0 when batching is off).
+    pub mean_batch_occupancy: f64,
+    /// Sum of per-request latencies (completion - issue), for diagnostics.
+    pub sum_request_latency: Duration,
+    /// Issue time of the last request (workload span under closed-loop
+    /// pacing).
+    pub last_issue: Duration,
+}
+
+impl RunReport {
+    /// Execution time normalized to a baseline run (the paper's
+    /// "normalized execution time"; > 1 means slower than baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline took zero cycles.
+    #[must_use]
+    pub fn normalized_time(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.total_cycles.as_u64();
+        assert!(base > 0, "baseline run took zero cycles");
+        self.total_cycles.as_u64() as f64 / base as f64
+    }
+
+    /// Total interconnect traffic normalized to a baseline run
+    /// (the paper's Figs. 12/23).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline moved zero bytes.
+    #[must_use]
+    pub fn traffic_ratio(&self, baseline: &RunReport) -> f64 {
+        let base = baseline.traffic.total().as_u64();
+        assert!(base > 0, "baseline run moved no bytes");
+        self.traffic.total().as_u64() as f64 / base as f64
+    }
+
+    /// Mean per-request latency in cycles.
+    #[must_use]
+    pub fn mean_request_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.sum_request_latency.as_u64() as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of this run's bytes that were security metadata.
+    #[must_use]
+    pub fn metadata_fraction(&self) -> f64 {
+        let total = self.traffic.total().as_u64();
+        if total == 0 {
+            0.0
+        } else {
+            self.traffic.metadata().as_u64() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_sim::link::TrafficClass;
+    use mgpu_types::ByteSize;
+
+    fn report(cycles: u64, data: u64, meta: u64) -> RunReport {
+        let mut traffic = TrafficTotals::default();
+        traffic.add(TrafficClass::Data, ByteSize::new(data));
+        traffic.add(TrafficClass::Mac, ByteSize::new(meta));
+        RunReport {
+            benchmark: Benchmark::Atax,
+            scheme: OtpSchemeKind::Private,
+            batching: false,
+            total_cycles: Duration::cycles(cycles),
+            requests: 10,
+            blocks: 10,
+            traffic,
+            otp: OtpStats::default(),
+            acks_sent: 10,
+            pads_issued: 40,
+            mean_batch_occupancy: 0.0,
+            sum_request_latency: Duration::cycles(0),
+            last_issue: Duration::cycles(0),
+        }
+    }
+
+    #[test]
+    fn normalization() {
+        let base = report(1000, 640, 0);
+        let secure = report(1195, 640, 230);
+        assert!((secure.normalized_time(&base) - 1.195).abs() < 1e-12);
+        assert!((secure.traffic_ratio(&base) - 870.0 / 640.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_fraction() {
+        let r = report(100, 720, 280);
+        assert!((r.metadata_fraction() - 0.28).abs() < 1e-12);
+        let empty = report(100, 0, 0);
+        assert_eq!(empty.metadata_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cycles")]
+    fn zero_baseline_panics() {
+        let base = report(0, 640, 0);
+        let secure = report(100, 640, 0);
+        let _ = secure.normalized_time(&base);
+    }
+}

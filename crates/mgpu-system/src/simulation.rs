@@ -1,0 +1,676 @@
+//! The system-level timing simulation: a discrete-event model of the full
+//! secure multi-GPU request path.
+//!
+//! ```text
+//! requester ──request(ctrl VC)──▶ owner ──HBM──▶ secure NIC (pad wait)
+//!    ──data+metadata (egress port → ingress port)──▶ requester NIC
+//!    (decrypt pad wait) ──ACK(ctrl VC)──▶ owner
+//! ```
+//!
+//! Every resource — HBM banks, per-node egress/ingress data ports,
+//! per-pair control VCs, the AES engines behind each OTP scheme — is
+//! booked *at the simulated time the bytes reach it*, driven by a global
+//! time-ordered event queue, so contention between requests, responses,
+//! ACKs and batch trailers is captured without ordering artifacts.
+//!
+//! Each GPU sustains at most `max_outstanding` in-flight requests (its
+//! memory-level parallelism), and the workload's inter-request gaps are
+//! *compute time*: a stalled GPU pushes all of its later work back
+//! (closed-loop pacing), like a real kernel whose wavefronts cannot run
+//! ahead of their data. Execution time is the cycle at which the last
+//! request's data becomes usable.
+
+use crate::metrics::RunReport;
+use crate::node::SecureNic;
+use mgpu_sim::dram::Hbm;
+use mgpu_sim::events::EventQueue;
+use mgpu_sim::link::TrafficClass;
+use mgpu_sim::topology::Topology;
+use mgpu_types::{ByteSize, Cycle, Duration, NodeId, OtpSchemeKind, PairId, SystemConfig};
+use mgpu_workloads::{AccessKind, Benchmark, Request, TrafficModel};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A configured, seeded simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_system::Simulation;
+/// use mgpu_types::SystemConfig;
+/// use mgpu_workloads::Benchmark;
+///
+/// let report = Simulation::new(SystemConfig::paper_4gpu(), Benchmark::Mvt, 7)
+///     .run_for_requests(300);
+/// assert_eq!(report.requests, 4 * 300);
+/// assert!(report.blocks >= report.requests);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SystemConfig,
+    benchmark: Benchmark,
+    params: mgpu_workloads::WorkloadParams,
+    seed: u64,
+}
+
+/// In-flight request bookkeeping.
+struct Pending {
+    requester: NodeId,
+    owner: NodeId,
+    blocks_left: u32,
+}
+
+/// Discrete events of the request path.
+enum Ev {
+    /// Attempt to issue the requester's next queued request.
+    TryIssue(NodeId),
+    /// Request packet arrived at the owner.
+    ReqArrive(usize),
+    /// HBM produced the data at the owner.
+    DataReady(usize),
+    /// An encrypted block is ready for the owner's egress port.
+    BlockEgress {
+        idx: usize,
+        parts: Vec<(ByteSize, TrafficClass)>,
+        counter: u64,
+        acks: bool,
+    },
+    /// The block reached the requester's ingress port.
+    BlockIngress {
+        idx: usize,
+        bytes: ByteSize,
+        counter: u64,
+        acks: bool,
+    },
+    /// The block cleared the ingress port; run receive-side crypto.
+    BlockRecv {
+        idx: usize,
+        counter: u64,
+        acks: bool,
+    },
+    /// The block's data became usable at the requester.
+    BlockDone {
+        idx: usize,
+        acks: bool,
+    },
+    /// An ACK reached the original sender: free a replay-table entry.
+    AckArrive(NodeId),
+    /// Check a node's batcher for timeout flushes.
+    FlushCheck(NodeId),
+    /// A flushed batch's trailer arrived: the receiver ACKs it.
+    TrailerAck {
+        receiver: NodeId,
+        owner: NodeId,
+    },
+}
+
+impl Simulation {
+    /// Creates a simulation of `benchmark` under `config` with a fixed
+    /// RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    #[must_use]
+    pub fn new(config: SystemConfig, benchmark: Benchmark, seed: u64) -> Self {
+        config.validate().expect("valid system configuration");
+        Simulation {
+            config,
+            benchmark,
+            params: benchmark.params(),
+            seed,
+        }
+    }
+
+    /// Overrides the workload parameters (calibration sweeps).
+    #[must_use]
+    pub fn with_workload_params(mut self, params: mgpu_workloads::WorkloadParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the workload with `per_gpu` remote requests per GPU and
+    /// returns the collected metrics.
+    #[must_use]
+    pub fn run_for_requests(&self, per_gpu: usize) -> RunReport {
+        let model = TrafficModel::with_params(
+            self.benchmark,
+            self.params,
+            self.config.gpu_count,
+            self.seed,
+        );
+        let mut queues: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
+        for gpu in 1..=self.config.gpu_count {
+            let node = NodeId::gpu(gpu);
+            queues.insert(node, model.generate_for(node, per_gpu).into());
+        }
+        self.run_requests(queues)
+    }
+
+    /// Runs an explicit request stream (grouped per requester). Used by
+    /// tests and the address-trace mode.
+    #[must_use]
+    pub fn run_trace(&self, requests: Vec<Request>) -> RunReport {
+        let mut queues: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
+        for r in requests {
+            queues.entry(r.requester).or_default().push_back(r);
+        }
+        for q in queues.values_mut() {
+            q.make_contiguous().sort_by_key(|r| r.available_at);
+        }
+        self.run_requests(queues)
+    }
+
+    fn secure(&self) -> bool {
+        self.config.security.scheme != OtpSchemeKind::Unsecure
+    }
+
+
+    #[allow(clippy::too_many_lines)]
+    fn run_requests(&self, queues: BTreeMap<NodeId, VecDeque<Request>>) -> RunReport {
+        let cfg = &self.config;
+        let wire = mgpu_secure::protocol::WireFormat::default();
+        let mut topo = Topology::new(cfg);
+        let mut hbm: BTreeMap<NodeId, Hbm> = NodeId::all(cfg.gpu_count)
+            .map(|n| (n, Hbm::new(512, cfg.dram_latency)))
+            .collect();
+        let mut nics: BTreeMap<NodeId, SecureNic> = if self.secure() {
+            NodeId::all(cfg.gpu_count)
+                .map(|n| (n, SecureNic::new(n, cfg)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
+
+        // Closed-loop pacing state: the generated timestamps define
+        // compute gaps between a GPU's requests.
+        let mut gaps: BTreeMap<NodeId, VecDeque<Duration>> = BTreeMap::new();
+        let mut reqs: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
+        for (node, queue) in queues {
+            let mut prev = Cycle::ZERO;
+            let g: &mut VecDeque<Duration> = gaps.entry(node).or_default();
+            for r in &queue {
+                g.push_back(r.available_at.saturating_since(prev));
+                prev = r.available_at;
+            }
+            reqs.insert(node, queue);
+        }
+        let mut vt: BTreeMap<NodeId, Cycle> = reqs.keys().map(|&n| (n, Cycle::ZERO)).collect();
+        // Per-GPU in-flight limit: the lower of the hardware MLP cap and
+        // the kernel's achievable memory-level parallelism.
+        let slots_per_gpu = cfg.max_outstanding.min(self.params.outstanding).max(1);
+        let mut free_slots: BTreeMap<NodeId, u32> =
+            reqs.keys().map(|&n| (n, slots_per_gpu)).collect();
+
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        for &node in reqs.keys() {
+            events.schedule(Cycle::ZERO, Ev::TryIssue(node));
+        }
+
+        let mut pending: Vec<Pending> = Vec::new();
+        // Replay-protection (ACK) table occupancy per sender: an outgoing
+        // protected block (or batch) holds one entry until its ACK returns;
+        // a full table defers further protected sends.
+        let ack_capacity = i64::from(cfg.security.ack_table_entries);
+        let mut ack_free: BTreeMap<NodeId, i64> = NodeId::all(cfg.gpu_count)
+            .map(|n| (n, ack_capacity))
+            .collect();
+        // Prepared, MAC-carrying blocks awaiting a free replay-table
+        // entry, per owner.
+        type Prepared = (usize, Vec<(ByteSize, TrafficClass)>, u64);
+        let mut deferred: BTreeMap<NodeId, VecDeque<Prepared>> = BTreeMap::new();
+        let mut completion = Cycle::ZERO;
+        let mut sum_latency = Duration::ZERO;
+        let mut issue_times: Vec<Cycle> = Vec::new();
+        let mut last_issue = Cycle::ZERO;
+        let mut requests_done = 0u64;
+        let mut blocks_done = 0u64;
+        let mut acks_sent = 0u64;
+
+        while let Some((now, ev)) = events.pop() {
+            match ev {
+                Ev::TryIssue(node) => {
+                    // Idempotent: re-checks every condition at fire time.
+                    let Some(front_gap) = gaps[&node].front().copied() else {
+                        continue;
+                    };
+                    let avail = vt[&node] + front_gap;
+                    if avail > now {
+                        events.schedule(avail, Ev::TryIssue(node));
+                        continue;
+                    }
+                    if free_slots[&node] == 0 {
+                        continue; // a completion will re-schedule
+                    }
+                    let request = reqs
+                        .get_mut(&node)
+                        .expect("queue exists")
+                        .pop_front()
+                        .expect("gap implies request");
+                    gaps.get_mut(&node).expect("gaps exist").pop_front();
+                    vt.insert(node, now);
+                    *free_slots.get_mut(&node).expect("slots exist") -= 1;
+                    last_issue = last_issue.max(now);
+
+                    let idx = pending.len();
+                    pending.push(Pending {
+                        requester: request.requester,
+                        owner: request.target,
+                        blocks_left: request.kind.blocks(),
+                    });
+                    issue_times.push(now);
+                    let to_owner = PairId::new(request.requester, request.target);
+                    let arrive =
+                        topo.transmit_ctrl(to_owner, now, &[(wire.request, TrafficClass::Data)]);
+                    // Remember payload size through the pending entry.
+                    let payload = match request.kind {
+                        AccessKind::DirectBlock => ByteSize::CACHELINE,
+                        AccessKind::PageMigration => ByteSize::PAGE,
+                    };
+                    // Stash payload via blocks_left (derivable), schedule.
+                    let _ = payload;
+                    events.schedule(arrive, Ev::ReqArrive(idx));
+                    // Another request may issue this same cycle.
+                    events.schedule(now, Ev::TryIssue(node));
+                }
+                Ev::ReqArrive(idx) => {
+                    let owner = pending[idx].owner;
+                    let payload = if pending[idx].blocks_left > 1 {
+                        ByteSize::PAGE
+                    } else {
+                        ByteSize::CACHELINE
+                    };
+                    let data_ready = hbm
+                        .get_mut(&owner)
+                        .expect("owner within system")
+                        .access(now, payload);
+                    events.schedule(data_ready, Ev::DataReady(idx));
+                }
+                Ev::DataReady(idx) => {
+                    let owner = pending[idx].owner;
+                    let requester = pending[idx].requester;
+                    let blocks = pending[idx].blocks_left;
+                    if self.secure() {
+                        let nic = nics.get_mut(&owner).expect("owner nic");
+                        for _ in 0..blocks {
+                            let prep = nic.prepare_send(now, requester);
+                            events.schedule(
+                                prep.ready,
+                                Ev::BlockEgress {
+                                    idx,
+                                    parts: prep.parts,
+                                    counter: prep.counter,
+                                    acks: prep.acks,
+                                },
+                            );
+                        }
+                        if let Some(deadline) = nic.next_flush_deadline() {
+                            events.schedule(deadline.max(now), Ev::FlushCheck(owner));
+                        }
+                    } else {
+                        for _ in 0..blocks {
+                            events.schedule(
+                                now,
+                                Ev::BlockEgress {
+                                    idx,
+                                    parts: vec![(
+                                        wire.header + wire.block,
+                                        TrafficClass::Data,
+                                    )],
+                                    counter: 0,
+                                    acks: false,
+                                },
+                            );
+                        }
+                    }
+                }
+                Ev::BlockEgress {
+                    idx,
+                    parts,
+                    counter,
+                    acks,
+                } => {
+                    let owner = pending[idx].owner;
+                    if acks {
+                        // This block carries a MsgMAC (unbatched block or
+                        // batch closer): it must hold a replay-table entry
+                        // until its ACK returns. A full table defers the
+                        // release.
+                        let free = ack_free.get_mut(&owner).expect("node exists");
+                        if *free <= 0 {
+                            deferred
+                                .entry(owner)
+                                .or_default()
+                                .push_back((idx, parts, counter));
+                            continue;
+                        }
+                        *free -= 1;
+                    }
+                    let bytes: ByteSize = parts.iter().map(|(b, _)| *b).sum();
+                    let at_ingress = topo.transmit_egress(owner, now, &parts);
+                    events.schedule(
+                        at_ingress,
+                        Ev::BlockIngress {
+                            idx,
+                            bytes,
+                            counter,
+                            acks,
+                        },
+                    );
+                }
+                Ev::BlockIngress {
+                    idx,
+                    bytes,
+                    counter,
+                    acks,
+                } => {
+                    let requester = pending[idx].requester;
+                    let through = topo.ingress_occupy(requester, now, bytes);
+                    events.schedule(through, Ev::BlockRecv { idx, counter, acks });
+                }
+                Ev::BlockRecv { idx, counter, acks } => {
+                    let usable = if self.secure() {
+                        let requester = pending[idx].requester;
+                        let owner = pending[idx].owner;
+                        nics.get_mut(&requester)
+                            .expect("requester nic")
+                            .receive(now, owner, counter)
+                    } else {
+                        now
+                    };
+                    events.schedule(usable, Ev::BlockDone { idx, acks });
+                }
+                Ev::BlockDone { idx, acks } => {
+                    blocks_done += 1;
+                    if acks {
+                        let requester = pending[idx].requester;
+                        let owner = pending[idx].owner;
+                        let ack = nics[&requester].ack_bytes();
+                        if ack > ByteSize::ZERO {
+                            let back = topo.transmit_ctrl(
+                                PairId::new(requester, owner),
+                                now,
+                                &[(ack, TrafficClass::Ack)],
+                            );
+                            acks_sent += 1;
+                            events.schedule(back, Ev::AckArrive(owner));
+                        } else {
+                            // Metadata-free ablation: the table entry still
+                            // frees after the ACK flight time.
+                            events.schedule(
+                                now + cfg.link_latency,
+                                Ev::AckArrive(owner),
+                            );
+                        }
+                    }
+                    pending[idx].blocks_left -= 1;
+                    if pending[idx].blocks_left == 0 {
+                        let requester = pending[idx].requester;
+                        completion = completion.max(now);
+                        sum_latency += now.saturating_since(issue_times[idx]);
+                        requests_done += 1;
+                        *free_slots.get_mut(&requester).expect("slots exist") += 1;
+                        events.schedule(now, Ev::TryIssue(requester));
+                    }
+                }
+                Ev::AckArrive(owner) => {
+                    *ack_free.get_mut(&owner).expect("node exists") += 1;
+                    if let Some(queue) = deferred.get_mut(&owner) {
+                        if let Some((idx, parts, counter)) = queue.pop_front() {
+                            events.schedule(
+                                now,
+                                Ev::BlockEgress {
+                                    idx,
+                                    parts,
+                                    counter,
+                                    acks: true,
+                                },
+                            );
+                        }
+                    }
+                }
+                Ev::FlushCheck(owner) => {
+                    let Some(nic) = nics.get_mut(&owner) else {
+                        continue;
+                    };
+                    let flushed = nic.flush_due(now);
+                    for (dst, mac_bytes) in flushed {
+                        // A flushed batch closes: its trailer occupies a
+                        // replay-table entry until the batch ACK returns.
+                        *ack_free.get_mut(&owner).expect("node exists") -= 1;
+                        let arrive = topo.transmit_ctrl(
+                            PairId::new(owner, dst),
+                            now,
+                            &[(mac_bytes, TrafficClass::Mac)],
+                        );
+                        events.schedule(
+                            arrive,
+                            Ev::TrailerAck {
+                                receiver: dst,
+                                owner,
+                            },
+                        );
+                    }
+                    if let Some(deadline) = nics[&owner].next_flush_deadline() {
+                        events.schedule(deadline.max(now), Ev::FlushCheck(owner));
+                    }
+                }
+                Ev::TrailerAck { receiver, owner } => {
+                    let ack = nics[&receiver].ack_bytes();
+                    if ack > ByteSize::ZERO {
+                        let back = topo.transmit_ctrl(
+                            PairId::new(receiver, owner),
+                            now,
+                            &[(ack, TrafficClass::Ack)],
+                        );
+                        acks_sent += 1;
+                        events.schedule(back, Ev::AckArrive(owner));
+                    } else {
+                        events.schedule(now + cfg.link_latency, Ev::AckArrive(owner));
+                    }
+                }
+            }
+        }
+
+        // Drain any still-open batches at end of run.
+        if self.secure() {
+            let owners: Vec<NodeId> = nics.keys().copied().collect();
+            for owner in owners {
+                let drained = nics.get_mut(&owner).expect("nic").flush_all();
+                for (dst, mac_bytes) in drained {
+                    topo.transmit_ctrl(
+                        PairId::new(owner, dst),
+                        completion,
+                        &[(mac_bytes, TrafficClass::Mac)],
+                    );
+                    let ack = nics[&dst].ack_bytes();
+                    if ack > ByteSize::ZERO {
+                        topo.transmit_ctrl(
+                            PairId::new(dst, owner),
+                            completion,
+                            &[(ack, TrafficClass::Ack)],
+                        );
+                        acks_sent += 1;
+                    }
+                }
+            }
+        }
+
+        let mut otp = mgpu_secure::OtpStats::default();
+        let mut pads_issued = 0;
+        let mut occupancy_sum = 0.0;
+        let mut occupancy_n = 0u32;
+        for nic in nics.values() {
+            otp.merge(nic.otp_stats());
+            pads_issued += nic.pads_issued();
+            let occ = nic.mean_batch_occupancy();
+            if occ > 0.0 {
+                occupancy_sum += occ;
+                occupancy_n += 1;
+            }
+        }
+
+        RunReport {
+            benchmark: self.benchmark,
+            scheme: cfg.security.scheme,
+            batching: cfg.security.batching.enabled,
+            total_cycles: completion.saturating_since(Cycle::ZERO),
+            requests: requests_done,
+            blocks: blocks_done,
+            traffic: topo.traffic_totals(),
+            otp,
+            acks_sent,
+            pads_issued,
+            mean_batch_occupancy: if occupancy_n > 0 {
+                occupancy_sum / f64::from(occupancy_n)
+            } else {
+                0.0
+            },
+            sum_request_latency: sum_latency,
+            last_issue: last_issue.saturating_since(Cycle::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_types::Direction;
+
+    fn config(scheme: OtpSchemeKind) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.scheme = scheme;
+        cfg
+    }
+
+    fn run(scheme: OtpSchemeKind, benchmark: Benchmark) -> RunReport {
+        Simulation::new(config(scheme), benchmark, 42).run_for_requests(400)
+    }
+
+    #[test]
+    fn unsecure_run_has_no_metadata_traffic() {
+        let r = run(OtpSchemeKind::Unsecure, Benchmark::Atax);
+        assert_eq!(r.traffic.metadata().as_u64(), 0);
+        assert_eq!(r.acks_sent, 0);
+        assert_eq!(r.otp.total(Direction::Send), 0);
+        assert!(r.total_cycles.as_u64() > 0);
+        assert_eq!(r.requests, 4 * 400);
+    }
+
+    #[test]
+    fn secure_run_is_slower_and_heavier() {
+        let base = run(OtpSchemeKind::Unsecure, Benchmark::Spmv);
+        let sec = run(OtpSchemeKind::Private, Benchmark::Spmv);
+        assert!(sec.total_cycles > base.total_cycles);
+        assert!(sec.traffic.total() > base.traffic.total());
+        assert!(sec.traffic.metadata().as_u64() > 0);
+        assert!(sec.acks_sent > 0);
+        assert_eq!(sec.otp.total(Direction::Send), sec.blocks);
+        assert_eq!(sec.otp.total(Direction::Recv), sec.blocks);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(OtpSchemeKind::Cached, Benchmark::Fft);
+        let b = run(OtpSchemeKind::Cached, Benchmark::Fft);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.traffic.total(), b.traffic.total());
+    }
+
+    #[test]
+    fn shared_is_slowest_scheme() {
+        let private = run(OtpSchemeKind::Private, Benchmark::PageRank);
+        let shared = run(OtpSchemeKind::Shared, Benchmark::PageRank);
+        assert!(
+            shared.total_cycles >= private.total_cycles,
+            "shared {} < private {}",
+            shared.total_cycles,
+            private.total_cycles
+        );
+    }
+
+    #[test]
+    fn batching_reduces_metadata_traffic_and_acks() {
+        let mut cfg = config(OtpSchemeKind::Dynamic);
+        let plain =
+            Simulation::new(cfg.clone(), Benchmark::MatrixTranspose, 42).run_for_requests(400);
+        cfg.security.batching.enabled = true;
+        let batched =
+            Simulation::new(cfg, Benchmark::MatrixTranspose, 42).run_for_requests(400);
+        assert!(
+            batched.traffic.metadata() < plain.traffic.metadata(),
+            "batched {} >= plain {}",
+            batched.traffic.metadata(),
+            plain.traffic.metadata()
+        );
+        assert!(batched.acks_sent < plain.acks_sent);
+        assert!(batched.mean_batch_occupancy > 1.0);
+    }
+
+    #[test]
+    fn metadata_ablation_sits_between_unsecure_and_full() {
+        let base = run(OtpSchemeKind::Unsecure, Benchmark::Syr2k);
+        let mut cfg = config(OtpSchemeKind::Private);
+        cfg.security.charge_metadata_traffic = false;
+        let commu_only = Simulation::new(cfg, Benchmark::Syr2k, 42).run_for_requests(400);
+        let full = run(OtpSchemeKind::Private, Benchmark::Syr2k);
+        assert!(commu_only.total_cycles >= base.total_cycles);
+        assert!(full.total_cycles >= commu_only.total_cycles);
+        assert_eq!(commu_only.traffic.metadata().as_u64(), 0);
+    }
+
+    #[test]
+    fn page_migrations_move_64_blocks() {
+        let r = run(OtpSchemeKind::Unsecure, Benchmark::FloydWarshall);
+        assert!(
+            r.blocks > r.requests + 60,
+            "blocks {} requests {}",
+            r.blocks,
+            r.requests
+        );
+    }
+
+    #[test]
+    fn run_trace_accepts_explicit_requests() {
+        let cfg = config(OtpSchemeKind::Private);
+        let reqs = vec![
+            Request::direct(Cycle::new(0), NodeId::gpu(1), NodeId::gpu(2)),
+            Request::direct(Cycle::new(5), NodeId::gpu(2), NodeId::CPU),
+            Request::migration(Cycle::new(9), NodeId::gpu(3), NodeId::gpu(1)),
+        ];
+        let r = Simulation::new(cfg, Benchmark::Atax, 0).run_trace(reqs);
+        assert_eq!(r.requests, 3);
+        assert_eq!(r.blocks, 1 + 1 + 64);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let cfg = config(OtpSchemeKind::Private);
+        let r = Simulation::new(cfg, Benchmark::Atax, 0).run_trace(Vec::new());
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.total_cycles.as_u64(), 0);
+    }
+
+    #[test]
+    fn request_latency_includes_round_trip() {
+        let cfg = config(OtpSchemeKind::Unsecure);
+        let reqs = vec![Request::direct(Cycle::new(0), NodeId::gpu(1), NodeId::gpu(2))];
+        let r = Simulation::new(cfg.clone(), Benchmark::Atax, 0).run_trace(reqs);
+        // request ser 1 + latency 100 + dram 200+1 + egress 2+100 + ingress 2.
+        let expected = 1 + 100 + 201 + 2 + 100 + 2;
+        assert_eq!(r.total_cycles.as_u64(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid system configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.gpu_count = 0;
+        let _ = Simulation::new(cfg, Benchmark::Atax, 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! System and security configuration (paper Table III).
+
+use crate::error::ConfigError;
+use crate::units::Duration;
+use core::fmt;
+
+/// Which OTP buffer management scheme a node runs.
+///
+/// `Private`, `Shared` and `Cached` are the prior CPU-oriented schemes of
+/// Rogers et al. (PACT'06) revisited by the paper; `Dynamic` is the paper's
+/// proposed EWMA-driven allocator. Metadata batching is orthogonal and
+/// configured by [`BatchingConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OtpSchemeKind {
+    /// No encryption at all: the unsecure baseline every figure normalizes to.
+    Unsecure,
+    /// Separate send/receive pad table entries per source–destination pair.
+    Private,
+    /// A single shared send counter per node; receivers can only pre-generate
+    /// pads for back-to-back messages from the same sender.
+    Shared,
+    /// An LRU cache of pad-table entries; hits behave like `Private`,
+    /// misses fall back to `Shared` semantics.
+    Cached,
+    /// The paper's dynamic allocator: the pad pool is re-partitioned across
+    /// directions and peers every interval using EWMA-weighted traffic.
+    Dynamic,
+}
+
+impl OtpSchemeKind {
+    /// All secure schemes (everything except [`OtpSchemeKind::Unsecure`]).
+    pub const SECURE: [OtpSchemeKind; 4] = [
+        OtpSchemeKind::Private,
+        OtpSchemeKind::Shared,
+        OtpSchemeKind::Cached,
+        OtpSchemeKind::Dynamic,
+    ];
+}
+
+impl fmt::Display for OtpSchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OtpSchemeKind::Unsecure => "unsecure",
+            OtpSchemeKind::Private => "private",
+            OtpSchemeKind::Shared => "shared",
+            OtpSchemeKind::Cached => "cached",
+            OtpSchemeKind::Dynamic => "dynamic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters of the paper's `Dynamic` OTP allocator (§IV-B, Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DynamicConfig {
+    /// EWMA forgetting rate for the send/receive direction split (paper α).
+    pub alpha: f64,
+    /// EWMA forgetting rate for the per-destination split (paper β).
+    pub beta: f64,
+    /// Monitoring / re-allocation interval in cycles (paper T).
+    pub interval: Duration,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        // Paper Table III: α = 0.9, β = 0.5, T = 1000.
+        DynamicConfig {
+            alpha: 0.9,
+            beta: 0.5,
+            interval: Duration::cycles(1000),
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// Validates that the EWMA rates lie in `(0, 1]` and the interval is
+    /// non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(ConfigError::new(format!(
+                "alpha must be in (0, 1], got {}",
+                self.alpha
+            )));
+        }
+        if !(self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(ConfigError::new(format!(
+                "beta must be in (0, 1], got {}",
+                self.beta
+            )));
+        }
+        if self.interval == Duration::ZERO {
+            return Err(ConfigError::new("interval must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the paper's security-metadata batching (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BatchingConfig {
+    /// Whether batching is enabled at all.
+    pub enabled: bool,
+    /// Maximum blocks per batch (paper n = 16 for direct block access).
+    pub batch_size: u32,
+    /// A batch that has been open this long is flushed even if not full, so
+    /// trickle traffic is not delayed indefinitely. The paper's burstiness
+    /// analysis (Fig. 15) motivates a bound on the order of 160 cycles.
+    pub flush_timeout: Duration,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig {
+            enabled: false,
+            batch_size: 16,
+            flush_timeout: Duration::cycles(160),
+        }
+    }
+}
+
+impl BatchingConfig {
+    /// Batching enabled with the paper's defaults (n = 16).
+    #[must_use]
+    pub fn enabled() -> Self {
+        BatchingConfig {
+            enabled: true,
+            ..BatchingConfig::default()
+        }
+    }
+
+    /// Validates the batch size (must be ≥ 1 and fit the 1 B length header).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `batch_size` is 0 or exceeds 255.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::new("batch_size must be >= 1"));
+        }
+        if self.batch_size > 255 {
+            return Err(ConfigError::new(
+                "batch_size must fit the 1-byte length header (<= 255)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Security-layer configuration shared by all schemes.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SecurityConfig {
+    /// Active OTP buffer management scheme.
+    pub scheme: OtpSchemeKind,
+    /// OTP buffer multiplier `N` of the paper's `OTP Nx` notation: pads per
+    /// source–destination pair per direction under `Private` sizing.
+    pub otp_multiplier: u32,
+    /// AES-GCM pad-generation latency in cycles (paper: 40).
+    pub aes_latency: Duration,
+    /// Dynamic-allocator parameters (used when `scheme == Dynamic`).
+    pub dynamic: DynamicConfig,
+    /// Metadata-batching parameters.
+    pub batching: BatchingConfig,
+    /// Capacity of the replay-protection table holding each outgoing
+    /// message's `(MsgCTR, MsgMAC)` until its ACK returns (paper §II-C).
+    /// A full table stalls further protected sends; batching consumes one
+    /// entry per *batch* instead of per block, which is where much of its
+    /// benefit comes from.
+    pub ack_table_entries: u32,
+    /// When `false`, metadata bytes are not charged to the interconnect —
+    /// the paper's `+SecureCommu` ablation (Fig. 11). Normal runs set `true`
+    /// (the `+Traffic` configuration).
+    pub charge_metadata_traffic: bool,
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        SecurityConfig {
+            scheme: OtpSchemeKind::Private,
+            otp_multiplier: 4,
+            aes_latency: Duration::cycles(40),
+            dynamic: DynamicConfig::default(),
+            batching: BatchingConfig::default(),
+            ack_table_entries: 28,
+            charge_metadata_traffic: true,
+        }
+    }
+}
+
+/// Full simulated-system configuration (paper Table III).
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_types::SystemConfig;
+///
+/// let cfg = SystemConfig::paper_4gpu();
+/// assert_eq!(cfg.total_otp_buffers_per_node(), 32);
+/// cfg.validate().expect("paper config is valid");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemConfig {
+    /// Number of GPUs (the CPU is always present in addition).
+    pub gpu_count: u16,
+    /// Compute units per GPU (paper: 64). Only shapes workload issue width.
+    pub cus_per_gpu: u32,
+    /// GPU–GPU link bandwidth in bytes per cycle (NVLink2-class: 50 GB/s at
+    /// 1 GHz = 50 B/cy).
+    pub gpu_link_bytes_per_cycle: u32,
+    /// CPU–GPU link bandwidth in bytes per cycle (PCIe v4: 32 GB/s = 32 B/cy).
+    pub pcie_bytes_per_cycle: u32,
+    /// One-way link propagation latency in cycles.
+    pub link_latency: Duration,
+    /// HBM access latency model in cycles for remote-end service time.
+    pub dram_latency: Duration,
+    /// Maximum in-flight remote requests per GPU — the memory-level
+    /// parallelism the CUs' wavefronts sustain. Bounds how much added
+    /// communication latency can be hidden by overlap.
+    pub max_outstanding: u32,
+    /// Security-layer configuration.
+    pub security: SecurityConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_4gpu()
+    }
+}
+
+impl SystemConfig {
+    /// The paper's baseline 4-GPU system (Table III).
+    #[must_use]
+    pub fn paper_4gpu() -> Self {
+        SystemConfig {
+            gpu_count: 4,
+            cus_per_gpu: 64,
+            gpu_link_bytes_per_cycle: 50,
+            pcie_bytes_per_cycle: 32,
+            link_latency: Duration::cycles(100),
+            dram_latency: Duration::cycles(200),
+            max_outstanding: 128,
+            security: SecurityConfig::default(),
+        }
+    }
+
+    /// The paper's 8-GPU scaling configuration (§V-D: 64 OTP buffers per GPU).
+    #[must_use]
+    pub fn paper_8gpu() -> Self {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.gpu_count = 8;
+        // 64 buffers / (8 peers * 2 directions) = 4 per pair-direction.
+        cfg.security.otp_multiplier = 4;
+        cfg
+    }
+
+    /// The paper's 16-GPU scaling configuration (§V-D: 128 OTP buffers per
+    /// GPU).
+    #[must_use]
+    pub fn paper_16gpu() -> Self {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.gpu_count = 16;
+        // 128 buffers / (16 peers * 2 directions) = 4 per pair-direction.
+        cfg.security.otp_multiplier = 4;
+        cfg
+    }
+
+    /// Total nodes in the system (GPUs + the CPU).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        usize::from(self.gpu_count) + 1
+    }
+
+    /// Peers each node communicates with (everyone but itself).
+    #[must_use]
+    pub fn peers_per_node(&self) -> u32 {
+        u32::from(self.gpu_count) // node count - 1
+    }
+
+    /// Total OTP buffer entries per node under `Private` sizing:
+    /// `peers × 2 directions × multiplier`. All schemes are given this same
+    /// capacity for a fair comparison (paper §III-A).
+    #[must_use]
+    pub fn total_otp_buffers_per_node(&self) -> u32 {
+        self.peers_per_node() * 2 * self.security.otp_multiplier
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gpu_count < 2 {
+            return Err(ConfigError::new(
+                "at least 2 GPUs are required for inter-GPU communication",
+            ));
+        }
+        if self.gpu_link_bytes_per_cycle == 0 || self.pcie_bytes_per_cycle == 0 {
+            return Err(ConfigError::new("link bandwidth must be non-zero"));
+        }
+        if self.security.otp_multiplier == 0 {
+            return Err(ConfigError::new("otp_multiplier must be >= 1"));
+        }
+        if self.max_outstanding == 0 {
+            return Err(ConfigError::new("max_outstanding must be >= 1"));
+        }
+        if self.security.aes_latency == Duration::ZERO {
+            return Err(ConfigError::new("aes_latency must be non-zero"));
+        }
+        if self.security.ack_table_entries == 0 {
+            return Err(ConfigError::new("ack_table_entries must be >= 1"));
+        }
+        self.security.dynamic.validate()?;
+        self.security.batching.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_4gpu_matches_table_iii() {
+        let cfg = SystemConfig::paper_4gpu();
+        assert_eq!(cfg.gpu_count, 4);
+        assert_eq!(cfg.cus_per_gpu, 64);
+        assert_eq!(cfg.gpu_link_bytes_per_cycle, 50);
+        assert_eq!(cfg.pcie_bytes_per_cycle, 32);
+        assert_eq!(cfg.security.aes_latency, Duration::cycles(40));
+        assert_eq!(cfg.security.dynamic.alpha, 0.9);
+        assert_eq!(cfg.security.dynamic.beta, 0.5);
+        assert_eq!(cfg.security.dynamic.interval, Duration::cycles(1000));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn otp_buffer_totals_match_paper_section_iii() {
+        // Paper: "In a 4-GPU system with OTP 4x, there are 4 × 2 × 4 = 32
+        // OTP buffers in each GPU with the Private scheme."
+        assert_eq!(SystemConfig::paper_4gpu().total_otp_buffers_per_node(), 32);
+        // §V-D: 64 per GPU at 8 GPUs, 128 per GPU at 16 GPUs.
+        assert_eq!(SystemConfig::paper_8gpu().total_otp_buffers_per_node(), 64);
+        assert_eq!(SystemConfig::paper_16gpu().total_otp_buffers_per_node(), 128);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.gpu_count = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.otp_multiplier = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.dynamic.alpha = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.batching.batch_size = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.batching.batch_size = 300;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn batching_enabled_constructor() {
+        let b = BatchingConfig::enabled();
+        assert!(b.enabled);
+        assert_eq!(b.batch_size, 16);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        assert_eq!(OtpSchemeKind::Private.to_string(), "private");
+        assert_eq!(OtpSchemeKind::Dynamic.to_string(), "dynamic");
+        assert_eq!(OtpSchemeKind::SECURE.len(), 4);
+    }
+}

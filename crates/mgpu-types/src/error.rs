@@ -1,0 +1,125 @@
+//! Workspace-level error types.
+
+use core::fmt;
+
+/// An invalid configuration value.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_types::{ConfigError, SystemConfig};
+///
+/// let mut cfg = SystemConfig::paper_4gpu();
+/// cfg.gpu_count = 0;
+/// let err: ConfigError = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("2 GPUs"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Top-level error type for fallible operations across the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MgpuError {
+    /// A configuration value was invalid.
+    Config(ConfigError),
+    /// Message authentication failed (tamper or replay detected).
+    AuthenticationFailed {
+        /// Human-readable description of what failed to verify.
+        context: String,
+    },
+    /// A replayed message (stale counter or duplicated MAC) was detected.
+    ReplayDetected {
+        /// The stale counter value observed.
+        counter: u64,
+    },
+    /// A protocol-state violation, e.g. out-of-window batch index.
+    Protocol(String),
+}
+
+impl fmt::Display for MgpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgpuError::Config(e) => write!(f, "{e}"),
+            MgpuError::AuthenticationFailed { context } => {
+                write!(f, "authentication failed: {context}")
+            }
+            MgpuError::ReplayDetected { counter } => {
+                write!(f, "replay detected: stale counter {counter}")
+            }
+            MgpuError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MgpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MgpuError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for MgpuError {
+    fn from(e: ConfigError) -> Self {
+        MgpuError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError::new("bad alpha");
+        assert_eq!(e.to_string(), "invalid configuration: bad alpha");
+    }
+
+    #[test]
+    fn mgpu_error_wraps_config_error_as_source() {
+        let e: MgpuError = ConfigError::new("x").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("x"));
+    }
+
+    #[test]
+    fn auth_and_replay_messages() {
+        let a = MgpuError::AuthenticationFailed {
+            context: "batched MAC mismatch".into(),
+        };
+        assert!(a.to_string().contains("batched MAC mismatch"));
+        let r = MgpuError::ReplayDetected { counter: 7 };
+        assert!(r.to_string().contains("7"));
+        assert!(r.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MgpuError>();
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,376 @@
+//! The 17 evaluated benchmarks (paper Table IV) and their calibrated
+//! traffic-model parameters.
+//!
+//! Parameters are calibrated to reproduce the *communication statistics*
+//! the paper reports, not the benchmarks' arithmetic:
+//!
+//! * RPKI class (Table IV) → request intensity (burst rate).
+//! * Burstiness (Figs. 15/16) → burst length and intra-burst spacing, such
+//!   that most 16-block groups accumulate within 160 cycles.
+//! * Destination locality and its drift (Figs. 13/14) → per-phase hot
+//!   destination with a rotation period.
+//! * Page-migration vs. direct-access mix (§II-A, §V-A) → per-benchmark
+//!   migration fraction.
+//!
+//! The per-benchmark values are stated in one table below so the
+//! calibration is auditable at a glance.
+
+use core::fmt;
+
+/// Remote-requests-per-kilo-instruction class (paper Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpkiClass {
+    /// RPKI > 1000.
+    High,
+    /// 100 < RPKI ≤ 1000.
+    Medium,
+    /// RPKI ≤ 100.
+    Low,
+}
+
+impl fmt::Display for RpkiClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpkiClass::High => f.write_str("high"),
+            RpkiClass::Medium => f.write_str("medium"),
+            RpkiClass::Low => f.write_str("low"),
+        }
+    }
+}
+
+/// Parameters of one benchmark's stochastic traffic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Mean blocks per communication burst.
+    pub burst_len_mean: u32,
+    /// Cycles between consecutive blocks within a burst.
+    pub intra_burst_gap: u64,
+    /// Mean idle cycles between bursts (exponential-ish).
+    pub inter_burst_gap_mean: u64,
+    /// Probability a burst targets the current phase's hot destination
+    /// (rest is uniform over the other peers).
+    pub locality: f64,
+    /// Probability mass of the CPU as a destination (host traffic).
+    pub cpu_weight: f64,
+    /// Fraction of bursts serviced by 4 KB page migration instead of
+    /// direct block access.
+    pub migration_fraction: f64,
+    /// Cycles per destination-rotation phase (drives Figs. 13/14 drift).
+    pub phase_len: u64,
+    /// Phase-dependent pull-intensity swing in [0, 1): during alternating
+    /// phases a GPU pulls less (producer role) or more (consumer role),
+    /// producing the time-varying send/receive mix of the paper's Fig. 13
+    /// that the `Dynamic` allocator exploits.
+    pub duty_variation: f64,
+    /// The kernel's achievable memory-level parallelism: how many remote
+    /// requests its wavefronts keep in flight before compute stalls on
+    /// data. Streaming kernels run far ahead; latency-sensitive tiled
+    /// kernels only cover a couple of bursts.
+    pub outstanding: u32,
+}
+
+impl WorkloadParams {
+    /// Mean requests per kilocycle implied by the parameters (the
+    /// intensity proxy used to sanity-check RPKI classes).
+    #[must_use]
+    pub fn requests_per_kilocycle(&self) -> f64 {
+        let burst_span = u64::from(self.burst_len_mean) * self.intra_burst_gap;
+        let period = burst_span + self.inter_burst_gap_mean;
+        f64::from(self.burst_len_mean) * 1000.0 / period as f64
+    }
+}
+
+/// The 17 evaluated workloads (paper Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // benchmark names are self-describing
+pub enum Benchmark {
+    MatrixTranspose,
+    Relu,
+    PageRank,
+    Syr2k,
+    Spmv,
+    SimpleConvolution,
+    MatrixMultiplication,
+    Atax,
+    Bicg,
+    Gesummv,
+    Mvt,
+    Stencil2d,
+    Fft,
+    Kmeans,
+    FloydWarshall,
+    Aes,
+    Fir,
+}
+
+impl Benchmark {
+    /// All benchmarks in Table IV order (grouped by RPKI class).
+    pub const ALL: [Benchmark; 17] = [
+        Benchmark::MatrixTranspose,
+        Benchmark::Relu,
+        Benchmark::PageRank,
+        Benchmark::Syr2k,
+        Benchmark::Spmv,
+        Benchmark::SimpleConvolution,
+        Benchmark::MatrixMultiplication,
+        Benchmark::Atax,
+        Benchmark::Bicg,
+        Benchmark::Gesummv,
+        Benchmark::Mvt,
+        Benchmark::Stencil2d,
+        Benchmark::Fft,
+        Benchmark::Kmeans,
+        Benchmark::FloydWarshall,
+        Benchmark::Aes,
+        Benchmark::Fir,
+    ];
+
+    /// The paper's abbreviation (Table IV).
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Benchmark::MatrixTranspose => "mt",
+            Benchmark::Relu => "relu",
+            Benchmark::PageRank => "pr",
+            Benchmark::Syr2k => "syr2k",
+            Benchmark::Spmv => "spmv",
+            Benchmark::SimpleConvolution => "sc",
+            Benchmark::MatrixMultiplication => "mm",
+            Benchmark::Atax => "atax",
+            Benchmark::Bicg => "bicg",
+            Benchmark::Gesummv => "ges",
+            Benchmark::Mvt => "mvt",
+            Benchmark::Stencil2d => "st",
+            Benchmark::Fft => "fft",
+            Benchmark::Kmeans => "km",
+            Benchmark::FloydWarshall => "floyd",
+            Benchmark::Aes => "aes",
+            Benchmark::Fir => "fir",
+        }
+    }
+
+    /// The suite the benchmark comes from (Table IV).
+    #[must_use]
+    pub fn suite(self) -> &'static str {
+        match self {
+            Benchmark::MatrixTranspose
+            | Benchmark::SimpleConvolution
+            | Benchmark::MatrixMultiplication
+            | Benchmark::FloydWarshall => "AMD APP SDK",
+            Benchmark::Relu => "DNNMark",
+            Benchmark::PageRank | Benchmark::Kmeans | Benchmark::Aes | Benchmark::Fir => {
+                "Hetero-Mark"
+            }
+            Benchmark::Syr2k
+            | Benchmark::Atax
+            | Benchmark::Bicg
+            | Benchmark::Gesummv
+            | Benchmark::Mvt => "Polybench",
+            Benchmark::Spmv | Benchmark::Stencil2d | Benchmark::Fft => "SHOC",
+        }
+    }
+
+    /// The paper's RPKI classification (Table IV).
+    #[must_use]
+    pub fn rpki_class(self) -> RpkiClass {
+        match self {
+            Benchmark::MatrixTranspose
+            | Benchmark::Relu
+            | Benchmark::PageRank
+            | Benchmark::Syr2k
+            | Benchmark::Spmv => RpkiClass::High,
+            Benchmark::SimpleConvolution
+            | Benchmark::MatrixMultiplication
+            | Benchmark::Atax
+            | Benchmark::Bicg
+            | Benchmark::Gesummv
+            | Benchmark::Mvt
+            | Benchmark::Stencil2d
+            | Benchmark::Fft
+            | Benchmark::Kmeans => RpkiClass::Medium,
+            Benchmark::FloydWarshall | Benchmark::Aes | Benchmark::Fir => RpkiClass::Low,
+        }
+    }
+
+    /// Calibrated traffic-model parameters (see module docs).
+    ///
+    /// | bench | burst | intra | inter | locality | cpu | migr | phase | duty |
+    /// |-------|-------|-------|-------|----------|-----|------|-------|------|
+    /// | mt    | 36    | 3     | 80    | 0.75     | 0.10| 0.02 | 60k   | 0.7  |
+    /// | relu  | 28    | 3     | 90    | 0.70     | 0.15| 0.05 | 50k   | 0.6  |
+    /// | pr    | 32    | 3     | 60    | 0.40     | 0.10| 0.01 | 40k   | 0.5  |
+    /// | syr2k | 36    | 3     | 100   | 0.65     | 0.08| 0.04 | 70k   | 0.6  |
+    /// | spmv  | 28    | 3     | 80    | 0.35     | 0.12| 0.01 | 45k   | 0.5  |
+    /// | sc    | 16    | 4     | 240   | 0.70     | 0.15| 0.10 | 80k   | 0.5  |
+    /// | mm    | 28    | 2     | 140   | 0.80     | 0.20| 0.08 | 50k   | 0.7  |
+    /// | atax  | 16    | 4     | 260   | 0.60     | 0.15| 0.05 | 70k   | 0.5  |
+    /// | bicg  | 16    | 4     | 280   | 0.60     | 0.15| 0.05 | 75k   | 0.5  |
+    /// | ges   | 14    | 4     | 320   | 0.65     | 0.12| 0.06 | 90k   | 0.5  |
+    /// | mvt   | 16    | 4     | 300   | 0.62     | 0.14| 0.05 | 85k   | 0.5  |
+    /// | st    | 12    | 5     | 380   | 0.85     | 0.10| 0.12 | 100k  | 0.6  |
+    /// | fft   | 18    | 3     | 220   | 0.55     | 0.18| 0.10 | 60k   | 0.5  |
+    /// | km    | 12    | 6     | 450   | 0.70     | 0.25| 0.15 | 110k  | 0.4  |
+    /// | floyd | 8     | 8     | 2600  | 0.80     | 0.15| 0.20 | 150k  | 0.3  |
+    /// | aes   | 64    | 1     | 2500  | 0.85     | 0.30| 0.10 | 120k  | 0.2  |
+    /// | fir   | 6     | 8     | 5200  | 0.75     | 0.30| 0.15 | 140k  | 0.2  |
+    #[must_use]
+    pub fn params(self) -> WorkloadParams {
+        #[allow(clippy::too_many_arguments)]
+        let p = |burst_len_mean,
+                 intra_burst_gap,
+                 inter_burst_gap_mean,
+                 locality,
+                 cpu_weight,
+                 migration_fraction,
+                 phase_len,
+                 duty_variation,
+                 outstanding| WorkloadParams {
+            burst_len_mean,
+            intra_burst_gap,
+            inter_burst_gap_mean,
+            locality,
+            cpu_weight,
+            migration_fraction,
+            phase_len,
+            duty_variation,
+            outstanding,
+        };
+        match self {
+            // High RPKI: dense, near link saturation.
+            Benchmark::MatrixTranspose => p(36, 3, 80, 0.75, 0.10, 0.02, 60_000, 0.7, 128),
+            Benchmark::Relu => p(28, 3, 90, 0.70, 0.15, 0.05, 50_000, 0.6, 128),
+            // PageRank/spmv: irregular, low locality (graph/sparse).
+            Benchmark::PageRank => p(32, 3, 60, 0.40, 0.10, 0.01, 40_000, 0.5, 128),
+            Benchmark::Syr2k => p(36, 3, 100, 0.65, 0.08, 0.04, 70_000, 0.6, 128),
+            Benchmark::Spmv => p(28, 3, 80, 0.35, 0.12, 0.01, 45_000, 0.5, 128),
+            // Medium RPKI.
+            Benchmark::SimpleConvolution => p(16, 4, 240, 0.70, 0.15, 0.10, 80_000, 0.5, 32),
+            Benchmark::MatrixMultiplication => p(28, 2, 140, 0.80, 0.20, 0.08, 50_000, 0.7, 40),
+            Benchmark::Atax => p(16, 4, 260, 0.60, 0.15, 0.05, 70_000, 0.5, 28),
+            Benchmark::Bicg => p(16, 4, 280, 0.60, 0.15, 0.05, 75_000, 0.5, 28),
+            Benchmark::Gesummv => p(14, 4, 320, 0.65, 0.12, 0.06, 90_000, 0.5, 24),
+            Benchmark::Mvt => p(16, 4, 300, 0.62, 0.14, 0.05, 85_000, 0.5, 28),
+            Benchmark::Stencil2d => p(12, 5, 380, 0.85, 0.10, 0.12, 100_000, 0.6, 20),
+            Benchmark::Fft => p(18, 3, 220, 0.55, 0.18, 0.10, 60_000, 0.5, 32),
+            Benchmark::Kmeans => p(12, 6, 450, 0.70, 0.25, 0.15, 110_000, 0.4, 20),
+            // Low RPKI: sparse traffic; aes is rare-but-giant bursts (bulk
+            // state transfers), which is why the paper still sees large
+            // secure-communication degradation on it (Fig. 21).
+            Benchmark::FloydWarshall => p(8, 8, 2_600, 0.80, 0.15, 0.20, 150_000, 0.3, 16),
+            Benchmark::Aes => p(64, 1, 2_500, 0.85, 0.30, 0.10, 120_000, 0.2, 96),
+            Benchmark::Fir => p(6, 8, 5_200, 0.75, 0.30, 0.15, 140_000, 0.2, 12),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 17);
+        let mut abbrevs: Vec<_> = Benchmark::ALL.iter().map(|b| b.abbrev()).collect();
+        abbrevs.sort_unstable();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 17, "abbreviations must be unique");
+    }
+
+    #[test]
+    fn class_counts_match_table_iv() {
+        let count = |class| {
+            Benchmark::ALL
+                .iter()
+                .filter(|b| b.rpki_class() == class)
+                .count()
+        };
+        assert_eq!(count(RpkiClass::High), 5);
+        assert_eq!(count(RpkiClass::Medium), 9);
+        assert_eq!(count(RpkiClass::Low), 3);
+    }
+
+    #[test]
+    fn intensity_ordering_follows_classes() {
+        // Every high-RPKI workload must be more intense than every
+        // medium one, and medium more than low (aes excepted: its rare
+        // giant bursts give it low average intensity by design).
+        let intensity = |b: Benchmark| b.params().requests_per_kilocycle();
+        for &hi in &[
+            Benchmark::MatrixTranspose,
+            Benchmark::PageRank,
+            Benchmark::Spmv,
+        ] {
+            for &mid in &[Benchmark::MatrixMultiplication, Benchmark::Fft] {
+                assert!(intensity(hi) > intensity(mid), "{hi} vs {mid}");
+            }
+        }
+        for &mid in &[Benchmark::MatrixMultiplication, Benchmark::Kmeans] {
+            for &lo in &[Benchmark::FloydWarshall, Benchmark::Fir] {
+                assert!(intensity(mid) > intensity(lo), "{mid} vs {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_rpki_is_near_link_saturation() {
+        // 0.3 requests/cycle × 72 B ≈ 22 B/cy from one requester; several
+        // requesters sharing a 50 B/cy link saturate it — the regime where
+        // metadata bandwidth hurts most.
+        for b in Benchmark::ALL {
+            if b.rpki_class() == RpkiClass::High {
+                let r = b.params().requests_per_kilocycle();
+                assert!(r > 120.0, "{b}: {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn burstiness_supports_batching() {
+        // A 16-block group must be able to accumulate within 160 cycles
+        // for most workloads (Fig. 15: 69.2 % on average): the intra-burst
+        // span of 16 blocks must be < 160 cycles for all but the sparsest.
+        let mut fast = 0;
+        for b in Benchmark::ALL {
+            let p = b.params();
+            if u64::from(p.burst_len_mean.min(16)) * p.intra_burst_gap <= 160
+                && p.burst_len_mean >= 16
+            {
+                fast += 1;
+            }
+        }
+        assert!(fast >= 10, "only {fast}/17 workloads burst fast enough");
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for b in Benchmark::ALL {
+            let p = b.params();
+            assert!((0.0..=1.0).contains(&p.locality), "{b}");
+            assert!((0.0..=1.0).contains(&p.cpu_weight), "{b}");
+            assert!((0.0..=1.0).contains(&p.migration_fraction), "{b}");
+            assert!(p.burst_len_mean > 0 && p.phase_len > 0, "{b}");
+        }
+    }
+
+    #[test]
+    fn suites_match_table_iv() {
+        assert_eq!(Benchmark::MatrixTranspose.suite(), "AMD APP SDK");
+        assert_eq!(Benchmark::Relu.suite(), "DNNMark");
+        assert_eq!(Benchmark::PageRank.suite(), "Hetero-Mark");
+        assert_eq!(Benchmark::Syr2k.suite(), "Polybench");
+        assert_eq!(Benchmark::Spmv.suite(), "SHOC");
+        assert_eq!(Benchmark::Fir.suite(), "Hetero-Mark");
+    }
+
+    #[test]
+    fn display_uses_abbrev() {
+        assert_eq!(Benchmark::Gesummv.to_string(), "ges");
+        assert_eq!(RpkiClass::High.to_string(), "high");
+    }
+}

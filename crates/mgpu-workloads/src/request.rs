@@ -1,0 +1,84 @@
+//! Remote-request records produced by the workload generators.
+
+use mgpu_types::{Cycle, NodeId};
+
+/// How a remote access is serviced (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Cacheline-granularity direct block access: one 64 B response.
+    DirectBlock,
+    /// Page migration: the whole 4 KB page (64 blocks) moves to the
+    /// requester.
+    PageMigration,
+}
+
+impl AccessKind {
+    /// Number of 64 B blocks this access moves.
+    #[must_use]
+    pub fn blocks(self) -> u32 {
+        match self {
+            AccessKind::DirectBlock => 1,
+            AccessKind::PageMigration => 64,
+        }
+    }
+}
+
+/// One remote request: `requester` pulls data from `target`.
+///
+/// `available_at` is when the GPU's compute produces the request — the
+/// system model may service it later if request slots or links are busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Earliest cycle the request can issue.
+    pub available_at: Cycle,
+    /// The node performing the access.
+    pub requester: NodeId,
+    /// The node whose memory holds the data.
+    pub target: NodeId,
+    /// Direct block access or page migration.
+    pub kind: AccessKind,
+}
+
+impl Request {
+    /// Creates a direct-block request.
+    #[must_use]
+    pub fn direct(available_at: Cycle, requester: NodeId, target: NodeId) -> Self {
+        Request {
+            available_at,
+            requester,
+            target,
+            kind: AccessKind::DirectBlock,
+        }
+    }
+
+    /// Creates a page-migration request.
+    #[must_use]
+    pub fn migration(available_at: Cycle, requester: NodeId, target: NodeId) -> Self {
+        Request {
+            available_at,
+            requester,
+            target,
+            kind: AccessKind::PageMigration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts() {
+        assert_eq!(AccessKind::DirectBlock.blocks(), 1);
+        assert_eq!(AccessKind::PageMigration.blocks(), 64);
+    }
+
+    #[test]
+    fn constructors() {
+        let r = Request::direct(Cycle::new(5), NodeId::gpu(1), NodeId::gpu(2));
+        assert_eq!(r.kind, AccessKind::DirectBlock);
+        let m = Request::migration(Cycle::new(5), NodeId::gpu(1), NodeId::CPU);
+        assert_eq!(m.kind.blocks(), 64);
+        assert_eq!(m.target, NodeId::CPU);
+    }
+}

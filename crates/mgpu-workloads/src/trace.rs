@@ -1,0 +1,440 @@
+//! Request-trace container with the pattern statistics the paper's
+//! motivation figures report.
+//!
+//! A [`Trace`] wraps a request stream and computes:
+//!
+//! * per-window send/receive mixes as seen from one GPU (Fig. 13),
+//! * per-window destination decomposition (Fig. 14), and
+//! * block-accumulation intervals — how long it takes for `n` blocks to
+//!   gather on a directed pair (Figs. 15/16).
+
+use crate::request::{AccessKind, Request};
+use mgpu_sim::stats::Histogram;
+use mgpu_types::{Cycle, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// An ordered remote-request trace plus analysis helpers.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_workloads::{Benchmark, Trace, TrafficModel};
+/// use mgpu_types::NodeId;
+///
+/// let model = TrafficModel::new(Benchmark::MatrixMultiplication, 4, 1);
+/// let trace = Trace::new(model.generate_all(500));
+/// let hist = trace.accumulation_histogram(16);
+/// assert!(hist.total() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Wraps a request stream, sorting it by availability time.
+    #[must_use]
+    pub fn new(mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| (r.available_at, r.requester, r.target));
+        Trace { requests }
+    }
+
+    /// The requests in time order.
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Expands requests into per-block arrivals on directed pairs
+    /// `(data owner → requester)` — the data-response streams whose
+    /// burstiness the batching scheme exploits. Page migrations expand to
+    /// 64 blocks spaced one cycle apart.
+    fn block_arrivals(&self) -> BTreeMap<(NodeId, NodeId), Vec<Cycle>> {
+        let mut arrivals: BTreeMap<(NodeId, NodeId), Vec<Cycle>> = BTreeMap::new();
+        for r in &self.requests {
+            let stream = arrivals.entry((r.target, r.requester)).or_default();
+            match r.kind {
+                AccessKind::DirectBlock => stream.push(r.available_at),
+                AccessKind::PageMigration => {
+                    for i in 0..64u64 {
+                        stream.push(r.available_at + mgpu_types::Duration::cycles(i));
+                    }
+                }
+            }
+        }
+        for stream in arrivals.values_mut() {
+            stream.sort();
+        }
+        arrivals
+    }
+
+    /// Histogram of the cycles needed for `group` consecutive blocks to
+    /// accumulate on a directed pair (Figs. 15/16; paper buckets).
+    #[must_use]
+    pub fn accumulation_histogram(&self, group: usize) -> Histogram {
+        let mut hist = Histogram::paper_burst_edges();
+        for stream in self.block_arrivals().values() {
+            for window in stream.chunks(group) {
+                if window.len() == group {
+                    let span = window[group - 1].as_u64() - window[0].as_u64();
+                    hist.record(span);
+                }
+            }
+        }
+        hist
+    }
+
+    /// Fraction of `group`-block windows that accumulate within
+    /// `within_cycles` (the paper quotes 69.2 % of 16-block groups within
+    /// 160 cycles).
+    #[must_use]
+    pub fn accumulation_fraction_within(&self, group: usize, within_cycles: u64) -> f64 {
+        let mut total = 0u64;
+        let mut fast = 0u64;
+        for stream in self.block_arrivals().values() {
+            for window in stream.chunks(group) {
+                if window.len() == group {
+                    total += 1;
+                    if window[group - 1].as_u64() - window[0].as_u64() < within_cycles {
+                        fast += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            fast as f64 / total as f64
+        }
+    }
+
+    /// Send/receive block counts for `node` over consecutive windows of
+    /// `window` cycles (Fig. 13). "Send" counts blocks `node` serves to
+    /// others (it is the data owner); "receive" counts blocks it pulls.
+    #[must_use]
+    pub fn send_recv_timeline(&self, node: NodeId, window: u64) -> Vec<(u64, u64)> {
+        assert!(window > 0, "window must be non-zero");
+        let mut timeline: Vec<(u64, u64)> = Vec::new();
+        for r in &self.requests {
+            let blocks = u64::from(r.kind.blocks());
+            let idx = (r.available_at.as_u64() / window) as usize;
+            if timeline.len() <= idx {
+                timeline.resize(idx + 1, (0, 0));
+            }
+            if r.target == node {
+                timeline[idx].0 += blocks; // node sends data
+            } else if r.requester == node {
+                timeline[idx].1 += blocks; // node receives data
+            }
+        }
+        timeline
+    }
+
+    /// Serializes the trace to a line-oriented text format
+    /// (`cycle requester target kind`), suitable for archiving a workload
+    /// and replaying it bit-identically later.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mgpu_workloads::{Request, Trace};
+    /// use mgpu_types::{Cycle, NodeId};
+    ///
+    /// let t = Trace::new(vec![Request::direct(
+    ///     Cycle::new(5), NodeId::gpu(1), NodeId::CPU)]);
+    /// let text = t.to_text();
+    /// let back: Trace = text.parse().unwrap();
+    /// assert_eq!(back, t);
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.requests.len() * 16);
+        out.push_str("# mgpu-trace v1: cycle requester target kind
+");
+        for r in &self.requests {
+            let kind = match r.kind {
+                AccessKind::DirectBlock => "D",
+                AccessKind::PageMigration => "M",
+            };
+            out.push_str(&format!(
+                "{} {} {} {}
+",
+                r.available_at.as_u64(),
+                r.requester.raw(),
+                r.target.raw(),
+                kind
+            ));
+        }
+        out
+    }
+
+    /// Destination decomposition of `node`'s outgoing *requests* over
+    /// consecutive windows (Fig. 14): for each window, blocks pulled from
+    /// each peer.
+    #[must_use]
+    pub fn destination_timeline(
+        &self,
+        node: NodeId,
+        window: u64,
+    ) -> Vec<BTreeMap<NodeId, u64>> {
+        assert!(window > 0, "window must be non-zero");
+        let mut timeline: Vec<BTreeMap<NodeId, u64>> = Vec::new();
+        for r in self.requests.iter().filter(|r| r.requester == node) {
+            let idx = (r.available_at.as_u64() / window) as usize;
+            if timeline.len() <= idx {
+                timeline.resize(idx + 1, BTreeMap::new());
+            }
+            *timeline[idx].entry(r.target).or_default() += u64::from(r.kind.blocks());
+        }
+        timeline
+    }
+}
+
+/// Error parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut requests = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: &str| ParseTraceError {
+                line: i + 1,
+                message: message.to_string(),
+            };
+            let mut fields = line.split_whitespace();
+            let cycle: u64 = fields
+                .next()
+                .ok_or_else(|| err("missing cycle"))?
+                .parse()
+                .map_err(|_| err("bad cycle"))?;
+            let requester: u16 = fields
+                .next()
+                .ok_or_else(|| err("missing requester"))?
+                .parse()
+                .map_err(|_| err("bad requester"))?;
+            let target: u16 = fields
+                .next()
+                .ok_or_else(|| err("missing target"))?
+                .parse()
+                .map_err(|_| err("bad target"))?;
+            let kind = match fields.next() {
+                Some("D") => AccessKind::DirectBlock,
+                Some("M") => AccessKind::PageMigration,
+                Some(_) => return Err(err("kind must be D or M")),
+                None => return Err(err("missing kind")),
+            };
+            if fields.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            if requester == target {
+                return Err(err("requester and target must differ"));
+            }
+            requests.push(Request {
+                available_at: Cycle::new(cycle),
+                requester: NodeId::from_raw(requester),
+                target: NodeId::from_raw(target),
+                kind,
+            });
+        }
+        Ok(Trace::new(requests))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_params::Benchmark;
+    use crate::model::TrafficModel;
+    use mgpu_types::Duration;
+
+    fn trace(b: Benchmark) -> Trace {
+        Trace::new(TrafficModel::new(b, 4, 42).generate_all(2_000))
+    }
+
+    #[test]
+    fn new_sorts_requests() {
+        let r1 = Request::direct(Cycle::new(10), NodeId::gpu(1), NodeId::gpu(2));
+        let r2 = Request::direct(Cycle::new(5), NodeId::gpu(1), NodeId::gpu(2));
+        let t = Trace::new(vec![r1, r2]);
+        assert_eq!(t.requests()[0].available_at, Cycle::new(5));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn bursty_workloads_accumulate_fast() {
+        // High-RPKI workloads should put most 16-block groups well within
+        // 160 cycles (Fig. 15 shape).
+        let t = trace(Benchmark::MatrixTranspose);
+        let frac = t.accumulation_fraction_within(16, 160);
+        assert!(frac > 0.5, "mt 16-block fraction {frac}");
+    }
+
+    #[test]
+    fn sparse_workloads_accumulate_slowly() {
+        let t = trace(Benchmark::Fir);
+        let frac = t.accumulation_fraction_within(16, 160);
+        let t2 = trace(Benchmark::MatrixTranspose);
+        assert!(
+            frac < t2.accumulation_fraction_within(16, 160),
+            "fir should be slower than mt"
+        );
+    }
+
+    #[test]
+    fn thirty_two_block_groups_are_slower_than_sixteen() {
+        // Fig. 16 vs Fig. 15: bigger groups take longer to fill.
+        let t = trace(Benchmark::MatrixMultiplication);
+        let f16 = t.accumulation_fraction_within(16, 160);
+        let f32 = t.accumulation_fraction_within(32, 160);
+        assert!(f32 <= f16, "f32={f32} > f16={f16}");
+    }
+
+    #[test]
+    fn histogram_fractions_cover_everything() {
+        let t = trace(Benchmark::Fft);
+        let h = t.accumulation_histogram(16);
+        let sum: f64 = h.fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_recv_timeline_counts_both_roles() {
+        let r1 = Request::direct(Cycle::new(10), NodeId::gpu(1), NodeId::gpu(2));
+        let r2 = Request::direct(Cycle::new(20), NodeId::gpu(2), NodeId::gpu(1));
+        let r3 = Request::migration(Cycle::new(30), NodeId::gpu(3), NodeId::gpu(1));
+        let t = Trace::new(vec![r1, r2, r3]);
+        let tl = t.send_recv_timeline(NodeId::gpu(1), 100);
+        // Window 0: GPU1 receives 1 block (r1), sends 1 (r2) + 64 (r3).
+        assert_eq!(tl[0], (65, 1));
+    }
+
+    #[test]
+    fn destination_timeline_tracks_pulls() {
+        let r1 = Request::direct(Cycle::new(10), NodeId::gpu(1), NodeId::gpu(2));
+        let r2 = Request::direct(Cycle::new(150), NodeId::gpu(1), NodeId::CPU);
+        let t = Trace::new(vec![r1, r2]);
+        let tl = t.destination_timeline(NodeId::gpu(1), 100);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0][&NodeId::gpu(2)], 1);
+        assert_eq!(tl[1][&NodeId::CPU], 1);
+    }
+
+    #[test]
+    fn destination_mix_varies_over_time() {
+        // Fig. 14: the dominant pull source changes across phases.
+        let m = TrafficModel::new(Benchmark::MatrixMultiplication, 4, 42);
+        let t = Trace::new(m.generate_for(NodeId::gpu(1), 30_000));
+        let tl = t.destination_timeline(NodeId::gpu(1), m.params().phase_len);
+        let dominant: Vec<Option<NodeId>> = tl
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .filter(|(n, _)| n.is_gpu())
+                    .max_by_key(|&(_, c)| c)
+                    .map(|(&n, _)| n)
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<_> =
+            dominant.iter().flatten().copied().collect();
+        assert!(distinct.len() >= 2, "dominant peers: {dominant:?}");
+    }
+
+    #[test]
+    fn page_migration_expands_to_64_blocks() {
+        let r = Request::migration(Cycle::new(0), NodeId::gpu(1), NodeId::gpu(2));
+        let t = Trace::new(vec![r]);
+        let h = t.accumulation_histogram(16);
+        // 64 blocks -> 4 complete windows of 16.
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let t = Trace::new(Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.accumulation_fraction_within(16, 160), 0.0);
+        assert_eq!(t.accumulation_histogram(16).total(), 0);
+        assert!(t.send_recv_timeline(NodeId::gpu(1), 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let t = Trace::new(Vec::new());
+        let _ = t.send_recv_timeline(NodeId::gpu(1), 0);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let original = trace(Benchmark::Kmeans);
+        let text = original.to_text();
+        let parsed: Trace = text.parse().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!("1 2".parse::<Trace>().is_err()); // missing fields
+        assert!("x 1 2 D".parse::<Trace>().is_err()); // bad cycle
+        assert!("1 1 1 D".parse::<Trace>().is_err()); // self target
+        assert!("1 1 2 Q".parse::<Trace>().is_err()); // bad kind
+        assert!("1 1 2 D extra".parse::<Trace>().is_err()); // trailing
+        let err = "ok
+".parse::<Trace>().unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let t: Trace = "# header
+
+10 1 2 D
+20 2 0 M
+".parse().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests()[1].kind, AccessKind::PageMigration);
+        assert_eq!(t.requests()[1].target, NodeId::CPU);
+    }
+
+    #[test]
+    fn migration_blocks_are_spaced() {
+        let r = Request::migration(Cycle::new(100), NodeId::gpu(1), NodeId::gpu(2));
+        let t = Trace::new(vec![r]);
+        // The 64 blocks span 63 cycles -> all 16-block windows within 160.
+        assert_eq!(t.accumulation_fraction_within(16, 160), 1.0);
+        let _ = Duration::cycles(1); // keep the import exercised
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: simulate one benchmark on the paper's 4-GPU system and
+//! print what securing the communication costs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use secure_mgpu::system::Simulation;
+use secure_mgpu::types::{Direction, OtpSchemeKind, SystemConfig};
+use secure_mgpu::workloads::Benchmark;
+
+fn main() {
+    // The paper's baseline system: 4 GPUs + CPU, NVLink2-class fabric,
+    // 40-cycle AES-GCM engines, OTP 4x buffers (Table III).
+    let mut config = SystemConfig::paper_4gpu();
+    let benchmark = Benchmark::MatrixMultiplication;
+    let requests_per_gpu = 1_000;
+
+    // 1. Unsecure baseline.
+    config.security.scheme = OtpSchemeKind::Unsecure;
+    let baseline =
+        Simulation::new(config.clone(), benchmark, 42).run_for_requests(requests_per_gpu);
+
+    // 2. The paper's full proposal: Dynamic OTP management + batching.
+    config.security.scheme = OtpSchemeKind::Dynamic;
+    config.security.batching.enabled = true;
+    let secured =
+        Simulation::new(config.clone(), benchmark, 42).run_for_requests(requests_per_gpu);
+
+    println!("benchmark        : {benchmark} ({})", benchmark.suite());
+    println!("requests         : {} ({} blocks)", secured.requests, secured.blocks);
+    println!("unsecure time    : {}", baseline.total_cycles);
+    println!("secured time     : {}", secured.total_cycles);
+    println!(
+        "slowdown         : {:.1}%",
+        (secured.normalized_time(&baseline) - 1.0) * 100.0
+    );
+    println!(
+        "traffic increase : {:.1}%",
+        (secured.traffic_ratio(&baseline) - 1.0) * 100.0
+    );
+    println!(
+        "send pads hidden : {:.1}%",
+        secured.otp.hidden_fraction(Direction::Send) * 100.0
+    );
+    println!(
+        "recv pads hidden : {:.1}%",
+        secured.otp.hidden_fraction(Direction::Recv) * 100.0
+    );
+    println!("batch occupancy  : {:.1} blocks", secured.mean_batch_occupancy);
+}

@@ -1,0 +1,74 @@
+//! Break interconnect traffic down by class and show how batching
+//! amortizes security metadata, plus the burstiness statistics the
+//! batching design relies on (paper §III-B, Figs. 12/15/23).
+//!
+//! ```text
+//! cargo run --release --example traffic_analysis [benchmark-abbrev]
+//! ```
+
+use secure_mgpu::sim::link::TrafficClass;
+use secure_mgpu::system::runner::configs;
+use secure_mgpu::system::Simulation;
+use secure_mgpu::types::{OtpSchemeKind, SystemConfig};
+use secure_mgpu::workloads::{Benchmark, Trace, TrafficModel};
+
+fn main() {
+    let wanted = std::env::args().nth(1);
+    let bench = wanted
+        .as_deref()
+        .and_then(|abbr| Benchmark::ALL.into_iter().find(|b| b.abbrev() == abbr))
+        .unwrap_or(Benchmark::MatrixTranspose);
+    let base = SystemConfig::paper_4gpu();
+    let per_gpu = 1_000;
+
+    // Burstiness of the raw communication pattern.
+    let trace = Trace::new(TrafficModel::new(bench, 4, 42).generate_all(per_gpu * 4));
+    println!("benchmark: {bench} ({})", bench.suite());
+    println!(
+        "16-block groups within 160 cycles: {:.1}% (paper avg: 69.2%)",
+        trace.accumulation_fraction_within(16, 160) * 100.0
+    );
+    println!(
+        "32-block groups within 160 cycles: {:.1}% (paper avg: 44.2%)\n",
+        trace.accumulation_fraction_within(32, 160) * 100.0
+    );
+    println!("16-block accumulation histogram:\n{}", trace.accumulation_histogram(16));
+
+    // Traffic breakdown: unsecure vs Private vs the full batched scheme.
+    let mut unsecure_cfg = base.clone();
+    unsecure_cfg.security.scheme = OtpSchemeKind::Unsecure;
+    let runs = [
+        ("unsecure", unsecure_cfg),
+        ("private-4x", configs::private(&base, 4)),
+        ("ours (dyn+batch)", configs::batching(&base, 4)),
+    ];
+    println!(
+        "{:18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "config", "data", "counter", "mac", "id", "ack", "batchhdr", "total"
+    );
+    let mut baseline_total = None;
+    for (label, cfg) in runs {
+        let report = Simulation::new(cfg, bench, 42).run_for_requests(per_gpu);
+        let t = &report.traffic;
+        let kb = |c: TrafficClass| format!("{:.0}K", t.get(c).as_u64() as f64 / 1024.0);
+        let total = t.total().as_u64();
+        let suffix = match baseline_total {
+            None => {
+                baseline_total = Some(total);
+                String::new()
+            }
+            Some(base_total) => format!(" ({:+.1}%)", (total as f64 / base_total as f64 - 1.0) * 100.0),
+        };
+        println!(
+            "{label:18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6.0}K{suffix}",
+            kb(TrafficClass::Data),
+            kb(TrafficClass::Counter),
+            kb(TrafficClass::Mac),
+            kb(TrafficClass::SenderId),
+            kb(TrafficClass::Ack),
+            kb(TrafficClass::BatchHeader),
+            total as f64 / 1024.0,
+        );
+    }
+    println!("\n(batching keeps per-block counters but amortizes MACs and ACKs per batch)");
+}

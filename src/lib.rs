@@ -1,0 +1,39 @@
+//! Umbrella crate for the secure multi-GPU communication workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate. See the individual
+//! crates for details:
+//!
+//! * [`types`] — shared identifiers, units and configuration.
+//! * [`crypto`] — from-scratch AES-128 / CTR / GHASH / AES-GCM plus the
+//!   pipelined engine timing model.
+//! * [`sim`] — discrete-event multi-GPU simulator substrate.
+//! * [`workloads`] — synthetic models of the paper's 17 benchmarks.
+//! * [`secure`] — the paper's contribution: OTP buffer management schemes
+//!   (Private / Shared / Cached / Dynamic) and security-metadata batching.
+//! * [`system`] — full-system composition and metrics.
+//! * [`experiments`] — the per-table/per-figure reproduction harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use secure_mgpu::types::SystemConfig;
+//! use secure_mgpu::system::Simulation;
+//! use secure_mgpu::workloads::Benchmark;
+//!
+//! let cfg = SystemConfig::paper_4gpu();
+//! let report = Simulation::new(cfg, Benchmark::MatrixMultiplication, 1)
+//!     .run_for_requests(2_000);
+//! assert!(report.total_cycles.as_u64() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mgpu_crypto as crypto;
+pub use mgpu_experiments as experiments;
+pub use mgpu_secure as secure;
+pub use mgpu_sim as sim;
+pub use mgpu_system as system;
+pub use mgpu_types as types;
+pub use mgpu_workloads as workloads;
