@@ -51,13 +51,37 @@ impl CtrKeystream {
         self.aes.encrypt_block(seed.to_counter_block(block_idx))
     }
 
+    /// Fills `out` with consecutive keystream blocks for `seed`, starting
+    /// at block offset `start_idx`.
+    ///
+    /// This is the bulk refill path: the counter blocks are laid out first
+    /// and encrypted in one [`Aes128::encrypt_blocks`] call, so pad
+    /// generation amortizes per-call overhead across the whole window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks would overflow the 32-bit per-message block
+    /// index space.
+    pub fn keystream_blocks(&self, seed: PadSeed, start_idx: u32, out: &mut [Block]) {
+        assert!(
+            (out.len() as u64) <= u64::from(u32::MAX - start_idx) + 1,
+            "keystream window overflows the 32-bit block index"
+        );
+        for (i, block) in out.iter_mut().enumerate() {
+            *block = seed.to_counter_block(start_idx + i as u32);
+        }
+        self.aes.encrypt_blocks(out);
+    }
+
     /// Generates the 64-byte encryption pad for one cacheline, as used by
     /// the paper's OTP buffer entries ("encryption pad (512 bits)").
     #[must_use]
     pub fn pad_64(&self, seed: PadSeed) -> [u8; 64] {
+        let mut blocks = [[0u8; BLOCK_SIZE]; 4];
+        self.keystream_blocks(seed, 0, &mut blocks);
         let mut pad = [0u8; 64];
-        for (i, chunk) in pad.chunks_exact_mut(BLOCK_SIZE).enumerate() {
-            chunk.copy_from_slice(&self.block(seed, i as u32));
+        for (chunk, block) in pad.chunks_exact_mut(BLOCK_SIZE).zip(blocks.iter()) {
+            chunk.copy_from_slice(block);
         }
         pad
     }
@@ -65,14 +89,10 @@ impl CtrKeystream {
     /// Generates an arbitrary-length keystream for `seed`.
     #[must_use]
     pub fn keystream(&self, seed: PadSeed, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        let mut idx = 0u32;
-        while out.len() < len {
-            let block = self.block(seed, idx);
-            let take = (len - out.len()).min(BLOCK_SIZE);
-            out.extend_from_slice(&block[..take]);
-            idx += 1;
-        }
+        let mut blocks = vec![[0u8; BLOCK_SIZE]; len.div_ceil(BLOCK_SIZE)];
+        self.keystream_blocks(seed, 0, &mut blocks);
+        let mut out: Vec<u8> = blocks.into_iter().flatten().collect();
+        out.truncate(len);
         out
     }
 
@@ -133,6 +153,23 @@ mod tests {
     fn keystream_matches_pad64() {
         let seed = PadSeed::new(3, 0, 7);
         assert_eq!(ks().keystream(seed, 64), ks().pad_64(seed).to_vec());
+    }
+
+    #[test]
+    fn keystream_blocks_matches_per_block_calls() {
+        let seed = PadSeed::new(3, 1, 9);
+        let mut bulk = [[0u8; BLOCK_SIZE]; 7];
+        ks().keystream_blocks(seed, 5, &mut bulk);
+        for (i, block) in bulk.iter().enumerate() {
+            assert_eq!(*block, ks().block(seed, 5 + i as u32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit block index")]
+    fn keystream_blocks_rejects_index_overflow() {
+        let mut blocks = [[0u8; BLOCK_SIZE]; 2];
+        ks().keystream_blocks(PadSeed::new(0, 0, 0), u32::MAX, &mut blocks);
     }
 
     #[test]

@@ -100,9 +100,11 @@ impl AesEngine {
     }
 
     /// Issues `count` back-to-back pad generations and returns when the
-    /// *last* one completes. Used for bulk refills after re-allocation.
+    /// *last* one completes, or `now` when `count` is zero (an empty refill
+    /// finishes immediately — it must not charge the pipeline latency).
+    /// Used for bulk refills after re-allocation.
     pub fn issue_many(&mut self, now: Cycle, count: u64) -> Cycle {
-        let mut last = now + self.latency;
+        let mut last = now;
         for _ in 0..count {
             last = self.issue(now);
         }
@@ -116,9 +118,7 @@ impl AesEngine {
     pub fn classify(&self, now: Cycle, ready_at: Option<Cycle>) -> PadTiming {
         match ready_at {
             Some(t) if t <= now => PadTiming::Hit,
-            Some(t) => PadTiming::Partial {
-                remaining: t - now,
-            },
+            Some(t) => PadTiming::Partial { remaining: t - now },
             None => PadTiming::Miss,
         }
     }
@@ -167,9 +167,10 @@ mod tests {
         // 4 issues starting at t=0: ready at 10, 11, 12, 13.
         assert_eq!(e.issue_many(Cycle::ZERO, 4), Cycle::new(13));
         assert_eq!(e.issued(), 4);
-        // Zero issues: nothing happens, returns now + latency as a floor.
+        // Zero issues: nothing happens and nothing completes later than
+        // `now` — an empty refill is free.
         let before = e.issued();
-        e.issue_many(Cycle::new(100), 0);
+        assert_eq!(e.issue_many(Cycle::new(100), 0), Cycle::new(100));
         assert_eq!(e.issued(), before);
     }
 

@@ -4,8 +4,8 @@
 //! The secure channel in `mgpu-secure` uses this for end-to-end functional
 //! validation: real ciphertexts, real tags, real tamper detection.
 
-use crate::aes::Aes128;
-use crate::ghash::Ghash;
+use crate::aes::{Aes128, Block};
+use crate::ghash::{Ghash, GhashKey};
 
 /// Authentication tag length in bytes (full 128-bit tags).
 pub const TAG_LEN: usize = 16;
@@ -25,7 +25,9 @@ pub const TAG_LEN: usize = 16;
 #[derive(Debug, Clone)]
 pub struct AesGcm {
     aes: Aes128,
-    h: [u8; 16],
+    /// `H = AES_K(0)` expanded into the Shoup product table, built once
+    /// per key and shared by every tag computation.
+    h: GhashKey,
 }
 
 /// Authentication failure returned by [`AesGcm::open`].
@@ -45,7 +47,7 @@ impl AesGcm {
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
         let aes = Aes128::new(key);
-        let h = aes.encrypt_block([0u8; 16]);
+        let h = GhashKey::new(aes.encrypt_block([0u8; 16]));
         AesGcm { aes, h }
     }
 
@@ -64,21 +66,25 @@ impl AesGcm {
         block[12..16].copy_from_slice(&ctr.wrapping_add(1).to_be_bytes());
     }
 
-    /// CTR-mode encrypt/decrypt starting from counter block `icb`.
+    /// CTR-mode encrypt/decrypt starting from counter block `icb`: the
+    /// counter blocks are laid out up front and encrypted in one bulk call.
     fn ctr_xor(&self, icb: [u8; 16], data: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(data.len());
+        let mut counters: Vec<Block> = Vec::with_capacity(data.len().div_ceil(16));
         let mut cb = icb;
-        for chunk in data.chunks(16) {
-            let ks = self.aes.encrypt_block(cb);
-            out.extend(chunk.iter().zip(ks.iter()).map(|(d, k)| d ^ k));
+        for _ in 0..data.len().div_ceil(16) {
+            counters.push(cb);
             Self::inc32(&mut cb);
         }
-        out
+        self.aes.encrypt_blocks(&mut counters);
+        data.iter()
+            .zip(counters.iter().flatten())
+            .map(|(d, k)| d ^ k)
+            .collect()
     }
 
     /// Computes the GCM tag over `aad` and `ciphertext`.
     fn tag(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
-        let mut g = Ghash::new(self.h);
+        let mut g = Ghash::with_key(self.h.clone());
         g.update(aad);
         g.pad_to_block();
         g.update(ciphertext);
@@ -220,6 +226,13 @@ mod tests {
         let gcm = AesGcm::new(&[0u8; 16]);
         let sealed = gcm.seal(&[0u8; 12], b"", b"");
         assert_eq!(sealed, hex("58e2fccefa7e3061367f1d57a4e7455a"));
+        // The decrypt direction verifies the same vector: the sealed message
+        // is tag-only, and opening yields the empty plaintext.
+        assert_eq!(gcm.open(&[0u8; 12], b"", &sealed).unwrap(), b"");
+        let (ct, tag) = gcm.seal_detached(&[0u8; 12], b"", b"");
+        assert!(ct.is_empty());
+        assert_eq!(tag.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+        assert_eq!(gcm.open_detached(&[0u8; 12], b"", &ct, &tag).unwrap(), b"");
     }
 
     /// NIST GCM spec test case 2: 16 zero bytes of plaintext.
@@ -230,6 +243,15 @@ mod tests {
         assert_eq!(
             sealed,
             hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+        assert_eq!(gcm.open(&[0u8; 12], b"", &sealed).unwrap(), [0u8; 16]);
+        // Detached MAC on the vector's ciphertext.
+        let (ct, tag) = gcm.seal_detached(&[0u8; 12], b"", &[0u8; 16]);
+        assert_eq!(ct, hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+        assert_eq!(
+            gcm.open_detached(&[0u8; 12], b"", &ct, &tag).unwrap(),
+            [0u8; 16]
         );
     }
 
@@ -251,6 +273,19 @@ mod tests {
         let expected_tag = hex("4d5c2af327cd64a62cf35abd2ba6fab4");
         assert_eq!(&sealed[..pt.len()], &expected_ct[..]);
         assert_eq!(&sealed[pt.len()..], &expected_tag[..]);
+        // Decrypt direction from the published ciphertext, both attached and
+        // with a detached tag truncated to the protocol's 8-byte MsgMAC.
+        assert_eq!(gcm.open(&nonce, b"", &sealed).unwrap(), pt);
+        assert_eq!(
+            gcm.open_detached(&nonce, b"", &expected_ct, &expected_tag)
+                .unwrap(),
+            pt
+        );
+        assert_eq!(
+            gcm.open_detached(&nonce, b"", &expected_ct, &expected_tag[..8])
+                .unwrap(),
+            pt
+        );
     }
 
     /// NIST GCM spec test case 4: with AAD and truncated plaintext.

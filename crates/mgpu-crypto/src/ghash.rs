@@ -6,6 +6,14 @@
 //! depends only on the counter, the MAC can be completed with "only a GHASH
 //! computation time" once the authentication pad is pre-generated
 //! (paper Fig. 6c).
+//!
+//! Multiplication by `H` uses Shoup's 8-bit table method: a 256-entry table
+//! of `byte · H` products is built once per key ([`GhashKey`]) and each
+//! block multiply becomes 16 table lookups plus 16 byte-shifts, instead of
+//! the 128-iteration bit loop of [`Gf128::mul`]. The bit loop is kept as
+//! the reference oracle and the two are checked for equivalence in tests.
+
+use std::sync::Arc;
 
 /// An element of GF(2^128) in GCM's bit-reflected representation.
 ///
@@ -30,10 +38,7 @@ impl Gf128 {
     pub const ZERO: Gf128 = Gf128 { hi: 0, lo: 0 };
 
     /// The multiplicative identity (GCM bit order: MSB of byte 0 set).
-    pub const ONE: Gf128 = Gf128 {
-        hi: 1 << 63,
-        lo: 0,
-    };
+    pub const ONE: Gf128 = Gf128 { hi: 1 << 63, lo: 0 };
 
     /// Interprets 16 big-endian bytes as a field element.
     #[must_use]
@@ -96,6 +101,115 @@ impl Gf128 {
         }
         z
     }
+
+    /// Multiplies by `x` (one GCM right-shift with reduction) — the
+    /// doubling step used to build the Shoup table.
+    #[must_use]
+    fn mul_x(self) -> Gf128 {
+        let lsb = self.lo & 1;
+        let mut v = Gf128 {
+            hi: self.hi >> 1,
+            lo: (self.lo >> 1) | (self.hi << 63),
+        };
+        if lsb == 1 {
+            v.hi ^= 0xE1u64 << 56;
+        }
+        v
+    }
+}
+
+/// Reduction constants for a right-shift by 8 (multiplication by `x^8`).
+///
+/// Shifting an element right by one bit reduces by XORing `0xE1 << 120`
+/// when the dropped bit was set; over 8 shifts the dropped byte `b`
+/// contributes, for each set bit `j`, that constant shifted right `7 - j`
+/// more times. All contributions land in the top 16 bits of `hi`, so the
+/// whole shift-by-8 reduction is one table lookup.
+const fn build_reduce8() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut acc = 0u64;
+        let mut j = 0;
+        while j < 8 {
+            if (b >> j) & 1 == 1 {
+                acc ^= 0xE1u64 << (49 + j);
+            }
+            j += 1;
+        }
+        table[b] = acc;
+        b += 1;
+    }
+    table
+}
+
+const REDUCE8: [u64; 256] = build_reduce8();
+
+/// A GHASH key: `H` expanded into Shoup's 256-entry product table.
+///
+/// Entry `b` holds `B(b) · H`, where `B(b)` is the degree-<8 polynomial a
+/// byte denotes in GCM bit order (MSB = lowest-degree coefficient). The
+/// table costs 4 KB and is built once per key; cloning shares it.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_crypto::ghash::{Gf128, GhashKey};
+///
+/// let h = [0x25u8; 16];
+/// let key = GhashKey::new(h);
+/// let x = Gf128::from_bytes([7u8; 16]);
+/// // The table multiply agrees with the bit-by-bit reference.
+/// assert_eq!(key.mul(x), x.mul(Gf128::from_bytes(h)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GhashKey {
+    table: Arc<[Gf128; 256]>,
+}
+
+impl GhashKey {
+    /// Builds the product table for hash subkey `h` (= `AES_K(0)` in GCM).
+    #[must_use]
+    pub fn new(h: [u8; 16]) -> Self {
+        let h = Gf128::from_bytes(h);
+        let mut table = [Gf128::ZERO; 256];
+        // Single-bit bytes: 0x80 denotes x^0, 0x40 denotes x^1, ... 0x01
+        // denotes x^7. Fill them by repeated doubling of H.
+        let mut v = h;
+        let mut bit = 0x80usize;
+        while bit > 0 {
+            table[bit] = v;
+            v = v.mul_x();
+            bit >>= 1;
+        }
+        // Composite bytes by linearity: b = p | q with p the highest bit.
+        let mut p = 2usize;
+        while p < 256 {
+            for q in 1..p {
+                table[p | q] = table[p].add(table[q]);
+            }
+            p <<= 1;
+        }
+        GhashKey {
+            table: Arc::new(table),
+        }
+    }
+
+    /// Multiplies `x · H` via the table: Horner over the 16 bytes of `x`,
+    /// highest byte index first, shifting by `x^8` between steps.
+    #[must_use]
+    pub fn mul(&self, x: Gf128) -> Gf128 {
+        let bytes = x.to_bytes();
+        let mut z = Gf128::ZERO;
+        for &b in bytes.iter().rev() {
+            // z = z * x^8, reducing the dropped byte in one lookup.
+            let dropped = (z.lo & 0xff) as usize;
+            z.lo = (z.lo >> 8) | (z.hi << 56);
+            z.hi = (z.hi >> 8) ^ REDUCE8[dropped];
+            z = z.add(self.table[b as usize]);
+        }
+        z
+    }
 }
 
 /// Streaming GHASH state keyed by `H`.
@@ -112,17 +226,27 @@ impl Gf128 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ghash {
-    h: Gf128,
+    key: GhashKey,
     y: Gf128,
     buffer: Vec<u8>,
 }
 
 impl Ghash {
-    /// Creates a GHASH instance with hash subkey `h` (= `AES_K(0)` in GCM).
+    /// Creates a GHASH instance with hash subkey `h` (= `AES_K(0)` in GCM),
+    /// building the key's product table. Callers hashing many messages
+    /// under one key should build a [`GhashKey`] once and use
+    /// [`Ghash::with_key`] instead.
     #[must_use]
     pub fn new(h: [u8; 16]) -> Self {
+        Self::with_key(GhashKey::new(h))
+    }
+
+    /// Creates a GHASH instance from an already-expanded key (cheap: the
+    /// table is shared, not rebuilt).
+    #[must_use]
+    pub fn with_key(key: GhashKey) -> Self {
         Ghash {
-            h: Gf128::from_bytes(h),
+            key,
             y: Gf128::ZERO,
             buffer: Vec::new(),
         }
@@ -164,7 +288,7 @@ impl Ghash {
     }
 
     fn absorb_block(&mut self, block: [u8; 16]) {
-        self.y = self.y.add(Gf128::from_bytes(block)).mul(self.h);
+        self.y = self.key.mul(self.y.add(Gf128::from_bytes(block)));
     }
 }
 
@@ -216,7 +340,10 @@ mod tests {
         let mut two = Ghash::new(h);
         two.update(&data[..13]);
         two.update(&data[13..]);
-        assert_eq!(one.finalize(0, data.len() as u64), two.finalize(0, data.len() as u64));
+        assert_eq!(
+            one.finalize(0, data.len() as u64),
+            two.finalize(0, data.len() as u64)
+        );
     }
 
     #[test]
@@ -255,6 +382,35 @@ mod tests {
         assert_eq!(g.finalize(0, 16), hex16("f38cbb1ad69223dcc3457ae5b6b0f885"));
     }
 
+    #[test]
+    fn table_mul_matches_reference_on_edge_cases() {
+        for h in [[0u8; 16], [0xFF; 16], {
+            let mut b = [0u8; 16];
+            b[0] = 0x80; // the field's 1
+            b
+        }] {
+            let key = GhashKey::new(h);
+            let hf = Gf128::from_bytes(h);
+            for x in [Gf128::ZERO, Gf128::ONE, Gf128::from_bytes([1; 16]), hf] {
+                assert_eq!(key.mul(x), x.mul(hf), "h={h:02x?}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_key_shares_the_table() {
+        let key = GhashKey::new([0x5A; 16]);
+        let data = b"shared-table ghash input, more than one block long....";
+        let mut a = Ghash::with_key(key.clone());
+        a.update(data);
+        let mut b = Ghash::new([0x5A; 16]);
+        b.update(data);
+        assert_eq!(
+            a.finalize(0, data.len() as u64),
+            b.finalize(0, data.len() as u64)
+        );
+    }
+
     mod prop_tests {
         use super::*;
         use proptest::prelude::*;
@@ -267,6 +423,14 @@ mod tests {
             #[test]
             fn mul_commutes(a in gf(), b in gf()) {
                 prop_assert_eq!(a.mul(b), b.mul(a));
+            }
+
+            #[test]
+            fn table_mul_matches_bitwise_mul(h in proptest::array::uniform16(any::<u8>()),
+                                             x in gf()) {
+                // Shoup's table method against SP 800-38D Algorithm 1.
+                let key = GhashKey::new(h);
+                prop_assert_eq!(key.mul(x), x.mul(Gf128::from_bytes(h)));
             }
 
             #[test]

@@ -119,7 +119,10 @@ mod tests {
         let block = seed.to_counter_block(0x0d0e0f10);
         assert_eq!(&block[0..2], &[0x01, 0x02]);
         assert_eq!(&block[2..4], &[0x03, 0x04]);
-        assert_eq!(&block[4..12], &[0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c]);
+        assert_eq!(
+            &block[4..12],
+            &[0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c]
+        );
         assert_eq!(&block[12..16], &[0x0d, 0x0e, 0x0f, 0x10]);
     }
 

@@ -1,15 +1,20 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] <experiment-id>... | all | list
+//! repro [--quick] [--csv DIR] [--bench-json FILE] <experiment-id>... | all | list
 //! ```
+//!
+//! Every run also writes a machine-readable benchmark record
+//! (`BENCH_repro.json` by default) with per-experiment wall-clock seconds,
+//! the total, the git revision, and the run mode, so performance can be
+//! tracked across commits.
 
 use mgpu_experiments::{find, registry, Mode};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro [--quick] [--csv DIR] <id>... | all | list");
+    eprintln!("usage: repro [--quick] [--csv DIR] [--bench-json FILE] <id>... | all | list");
     eprintln!("experiments:");
     for e in registry() {
         eprintln!("  {:18} {}", e.id, e.title);
@@ -17,9 +22,70 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Removes duplicate ids while keeping first-occurrence order (`Vec::dedup`
+/// only collapses *adjacent* repeats, so `fig21 fig23 fig21` would run
+/// fig21 twice).
+fn dedup_preserving_order(ids: Vec<String>) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    ids.into_iter()
+        .filter(|id| seen.insert(id.clone()))
+        .collect()
+}
+
+/// The current git revision, best-effort (`"unknown"` outside a checkout).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the benchmark record. Hand-rolled JSON: the schema is four keys
+/// and a flat array, not worth a serializer dependency.
+fn bench_json(mode: Mode, timings: &[(String, f64)], total_seconds: f64) -> String {
+    let mode_name = match mode {
+        Mode::Full => "full",
+        Mode::Quick => "quick",
+        Mode::Bench => "bench",
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"git_rev\": \"{}\",\n",
+        json_escape(&git_rev())
+    ));
+    out.push_str(&format!("  \"mode\": \"{mode_name}\",\n"));
+    out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (id, seconds)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"seconds\": {seconds:.3}}}{comma}\n",
+            json_escape(id)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() -> ExitCode {
     let mut mode = Mode::Full;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut bench_json_path = PathBuf::from("BENCH_repro.json");
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -28,6 +94,10 @@ fn main() -> ExitCode {
             "--quick" => mode = Mode::Quick,
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_json_path = PathBuf::from(path),
                 None => return usage(),
             },
             "list" | "--list" | "-l" => {
@@ -44,8 +114,10 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         return usage();
     }
-    ids.dedup();
+    let ids = dedup_preserving_order(ids);
 
+    let suite_started = std::time::Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::with_capacity(ids.len());
     for id in &ids {
         let Some(exp) = find(id) else {
             eprintln!("unknown experiment: {id}");
@@ -66,7 +138,24 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("{id} finished in {:.1}s", started.elapsed().as_secs_f64());
+        let seconds = started.elapsed().as_secs_f64();
+        eprintln!("{id} finished in {seconds:.1}s");
+        timings.push((id.clone(), seconds));
     }
+    let total_seconds = suite_started.elapsed().as_secs_f64();
+    eprintln!(
+        "total: {total_seconds:.1}s across {} experiments",
+        timings.len()
+    );
+
+    let record = bench_json(mode, &timings, total_seconds);
+    if let Err(err) = std::fs::write(&bench_json_path, record) {
+        eprintln!(
+            "failed to write benchmark record {}: {err}",
+            bench_json_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", bench_json_path.display());
     ExitCode::SUCCESS
 }

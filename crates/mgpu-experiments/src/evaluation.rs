@@ -20,13 +20,15 @@ pub fn fig21(mode: Mode) -> Vec<Table> {
 }
 
 /// Shared scaffolding: normalized execution times per benchmark +
-/// geomean, one column per configuration.
+/// geomean, one column per configuration. All cells are computed up front
+/// in parallel; the assembly loop below then reads the warm cache.
 fn normalized_table(
     title: &str,
     base: &SystemConfig,
     cfgs: &[(String, SystemConfig)],
     mode: Mode,
 ) -> Table {
+    common::prefetch(&common::table_cells(base, cfgs, mode), mode);
     let mut headers: Vec<&str> = vec!["bench"];
     headers.extend(cfgs.iter().map(|(l, _)| l.as_str()));
     let mut t = Table::new(title, &headers);
@@ -68,6 +70,7 @@ pub fn fig22(mode: Mode) -> Vec<Table> {
 pub fn fig23(mode: Mode) -> Vec<Table> {
     let base = SystemConfig::paper_4gpu();
     let cfgs = common::ours_triple(&base);
+    common::prefetch(&common::table_cells(&base, &cfgs, mode), mode);
     let mut headers: Vec<&str> = vec!["bench"];
     headers.extend(cfgs.iter().map(|(l, _)| l.as_str()));
     let mut t = Table::new("Fig. 23: communication traffic (4 GPUs, OTP 4x)", &headers);
@@ -121,6 +124,14 @@ pub fn fig26(mode: Mode) -> Vec<Table> {
         let mut base = SystemConfig::paper_4gpu();
         base.security.aes_latency = Duration::cycles(cycles);
         let cfgs = common::ours_triple(&base);
+        let mut cells: Vec<common::Cell> = Vec::new();
+        for (_, cfg) in &cfgs {
+            for &bench in mode.suite() {
+                cells.push((common::baseline_of(cfg), bench));
+                cells.push((cfg.clone(), bench));
+            }
+        }
+        common::prefetch(&cells, mode);
         let mut row = vec![format!("{cycles}cy")];
         for (_, cfg) in &cfgs {
             let mut values = Vec::new();
@@ -145,18 +156,37 @@ pub fn table3(_mode: Mode) -> Vec<Table> {
     let rows: Vec<(&str, String)> = vec![
         ("system", format!("{} GPUs + CPU", cfg.gpu_count)),
         ("CUs per GPU", cfg.cus_per_gpu.to_string()),
-        ("GPU-GPU link", format!("{} B/cycle (NVLink2-class)", cfg.gpu_link_bytes_per_cycle)),
-        ("CPU-GPU link", format!("{} B/cycle (PCIe v4)", cfg.pcie_bytes_per_cycle)),
+        (
+            "GPU-GPU link",
+            format!("{} B/cycle (NVLink2-class)", cfg.gpu_link_bytes_per_cycle),
+        ),
+        (
+            "CPU-GPU link",
+            format!("{} B/cycle (PCIe v4)", cfg.pcie_bytes_per_cycle),
+        ),
         ("link latency", cfg.link_latency.to_string()),
         ("HBM latency", cfg.dram_latency.to_string()),
         ("AES-GCM latency", cfg.security.aes_latency.to_string()),
-        ("OTP multiplier", format!("{}x ({} buffers/node)", cfg.security.otp_multiplier, cfg.total_otp_buffers_per_node())),
+        (
+            "OTP multiplier",
+            format!(
+                "{}x ({} buffers/node)",
+                cfg.security.otp_multiplier,
+                cfg.total_otp_buffers_per_node()
+            ),
+        ),
         ("alpha", cfg.security.dynamic.alpha.to_string()),
         ("beta", cfg.security.dynamic.beta.to_string()),
         ("T", cfg.security.dynamic.interval.to_string()),
         ("batch size n", cfg.security.batching.batch_size.to_string()),
-        ("batch flush timeout", cfg.security.batching.flush_timeout.to_string()),
-        ("replay (ACK) table", format!("{} entries/node", cfg.security.ack_table_entries)),
+        (
+            "batch flush timeout",
+            cfg.security.batching.flush_timeout.to_string(),
+        ),
+        (
+            "replay (ACK) table",
+            format!("{} entries/node", cfg.security.ack_table_entries),
+        ),
         ("max outstanding/GPU", cfg.max_outstanding.to_string()),
     ];
     for (k, v) in rows {
@@ -195,18 +225,37 @@ pub fn ablation_batch_size(mode: Mode) -> Vec<Table> {
     let base = SystemConfig::paper_4gpu();
     let mut t = Table::new(
         "Ablation: batch size sweep (Dynamic + Batching, 4 GPUs)",
-        &["batch-size", "normalized-time", "traffic-ratio", "mean-occupancy"],
+        &[
+            "batch-size",
+            "normalized-time",
+            "traffic-ratio",
+            "mean-occupancy",
+        ],
     );
-    for n in [4u32, 8, 16, 32, 64] {
-        let mut cfg = configs::batching(&base, 4);
-        cfg.security.batching.batch_size = n;
+    let sweep: Vec<SystemConfig> = [4u32, 8, 16, 32, 64]
+        .iter()
+        .map(|&n| {
+            let mut cfg = configs::batching(&base, 4);
+            cfg.security.batching.batch_size = n;
+            cfg
+        })
+        .collect();
+    let mut cells: Vec<common::Cell> = Vec::new();
+    for cfg in &sweep {
+        for &bench in mode.suite() {
+            cells.push((common::baseline_of(cfg), bench));
+            cells.push((cfg.clone(), bench));
+        }
+    }
+    common::prefetch(&cells, mode);
+    for (n, cfg) in [4u32, 8, 16, 32, 64].into_iter().zip(&sweep) {
         let mut times = Vec::new();
         let mut traffics = Vec::new();
         let mut occupancy = 0.0;
         let mut count = 0.0;
         for &bench in mode.suite() {
-            let baseline = common::run_baseline(&cfg, bench, mode);
-            let r = common::run(&cfg, bench, mode);
+            let baseline = common::run_baseline(cfg, bench, mode);
+            let r = common::run(cfg, bench, mode);
             times.push(r.normalized_time(&baseline));
             traffics.push(r.traffic_ratio(&baseline));
             occupancy += r.mean_batch_occupancy;
@@ -230,13 +279,27 @@ pub fn ablation_interval(mode: Mode) -> Vec<Table> {
         "Ablation: Dynamic re-allocation interval T (4 GPUs)",
         &["interval", "normalized-time"],
     );
-    for interval in [250u64, 500, 1_000, 2_000, 8_000] {
-        let mut cfg = configs::dynamic(&base, 4);
-        cfg.security.dynamic.interval = Duration::cycles(interval);
+    let sweep: Vec<(u64, SystemConfig)> = [250u64, 500, 1_000, 2_000, 8_000]
+        .iter()
+        .map(|&interval| {
+            let mut cfg = configs::dynamic(&base, 4);
+            cfg.security.dynamic.interval = Duration::cycles(interval);
+            (interval, cfg)
+        })
+        .collect();
+    let mut cells: Vec<common::Cell> = Vec::new();
+    for (_, cfg) in &sweep {
+        for &bench in mode.suite() {
+            cells.push((common::baseline_of(cfg), bench));
+            cells.push((cfg.clone(), bench));
+        }
+    }
+    common::prefetch(&cells, mode);
+    for (interval, cfg) in &sweep {
         let mut times = Vec::new();
         for &bench in mode.suite() {
-            let baseline = common::run_baseline(&cfg, bench, mode);
-            times.push(common::run(&cfg, bench, mode).normalized_time(&baseline));
+            let baseline = common::run_baseline(cfg, bench, mode);
+            times.push(common::run(cfg, bench, mode).normalized_time(&baseline));
         }
         t.add_row(vec![interval.to_string(), ratio(common::geomean(&times))]);
     }
@@ -269,7 +332,10 @@ mod tests {
             batching <= dynamic + 1e-9,
             "batching {batching} should not exceed dynamic {dynamic}"
         );
-        assert!(batching < p4, "batching {batching} should beat private {p4}");
+        assert!(
+            batching < p4,
+            "batching {batching} should beat private {p4}"
+        );
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub fn fig08(mode: Mode) -> Vec<Table> {
     let labels: Vec<String> = mults.iter().map(|m| format!("otp-{m}x")).collect();
     headers.extend(labels.iter().map(String::as_str));
     let mut t = Table::new("Fig. 8: Private vs OTP buffer entries (4 GPUs)", &headers);
+    let sweep: Vec<(String, SystemConfig)> = mults
+        .iter()
+        .map(|&m| (format!("otp-{m}x"), configs::private(&base, m)))
+        .collect();
+    common::prefetch(&common::table_cells(&base, &sweep, mode), mode);
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); mults.len()];
     for &bench in mode.suite() {
         let baseline = common::run_baseline(&base, bench, mode);
@@ -82,11 +87,8 @@ pub fn fig09(mode: Mode) -> Vec<Table> {
 }
 
 /// Shared scaffolding for normalized-execution-time tables.
-fn scheme_comparison_table(
-    title: &str,
-    cfgs: &[(String, SystemConfig)],
-    mode: Mode,
-) -> Table {
+fn scheme_comparison_table(title: &str, cfgs: &[(String, SystemConfig)], mode: Mode) -> Table {
+    common::prefetch(&common::table_cells(&cfgs[0].1, cfgs, mode), mode);
     let mut headers: Vec<&str> = vec!["bench"];
     headers.extend(cfgs.iter().map(|(l, _)| l.as_str()));
     let mut t = Table::new(title, &headers);
@@ -136,10 +138,20 @@ pub(crate) fn otp_distribution_table(
     let mut t = Table::new(
         title,
         &[
-            "scheme", "send-hit", "send-partial", "send-miss", "recv-hit", "recv-partial",
+            "scheme",
+            "send-hit",
+            "send-partial",
+            "send-miss",
+            "recv-hit",
+            "recv-partial",
             "recv-miss",
         ],
     );
+    let cells: Vec<common::Cell> = cfgs
+        .iter()
+        .flat_map(|(_, cfg)| mode.suite().iter().map(|&bench| (cfg.clone(), bench)))
+        .collect();
+    common::prefetch(&cells, mode);
     for (label, cfg) in cfgs {
         let mut otp = mgpu_secure::OtpStats::default();
         for &bench in mode.suite() {
@@ -189,6 +201,10 @@ pub fn fig12(mode: Mode) -> Vec<Table> {
         "Fig. 12: communication traffic with security metadata (Private 4x)",
         &["bench", "traffic-ratio", "metadata-share"],
     );
+    common::prefetch(
+        &common::table_cells(&cfg, &[("private-4x".into(), cfg.clone())], mode),
+        mode,
+    );
     let mut ratios = Vec::new();
     for &bench in mode.suite() {
         let baseline = common::run_baseline(&cfg, bench, mode);
@@ -224,7 +240,11 @@ pub fn fig13(mode: Mode) -> Vec<Table> {
     );
     for (i, (send, recv)) in timeline.iter().enumerate().take(24) {
         let total = send + recv;
-        let share = if total == 0 { 0.0 } else { *send as f64 / total as f64 };
+        let share = if total == 0 {
+            0.0
+        } else {
+            *send as f64 / total as f64
+        };
         t.add_row(vec![
             i.to_string(),
             send.to_string(),
@@ -275,7 +295,15 @@ pub fn burstiness(mode: Mode, group: usize) -> Vec<Table> {
     let figure = if group == 16 { "Fig. 15" } else { "Fig. 16" };
     let mut t = Table::new(
         format!("{figure}: cycles until {group} blocks accumulate"),
-        &["bench", "[0,40)", "[40,160)", "[160,640)", "[640,2560)", "[2560,inf)", "<160"],
+        &[
+            "bench",
+            "[0,40)",
+            "[40,160)",
+            "[160,640)",
+            "[640,2560)",
+            "[2560,inf)",
+            "<160",
+        ],
     );
     let mut fast_sum = 0.0;
     let mut n = 0.0;
@@ -325,7 +353,12 @@ mod tests {
             .skip(1)
             .map(|v| v.parse().unwrap())
             .collect();
-        assert!(geo[0] > geo[4], "1x {0} should exceed 16x {1}", geo[0], geo[4]);
+        assert!(
+            geo[0] > geo[4],
+            "1x {0} should exceed 16x {1}",
+            geo[0],
+            geo[4]
+        );
         assert!(geo.iter().all(|&g| g >= 0.99));
     }
 
@@ -333,7 +366,11 @@ mod tests {
     fn fig09_shared_is_worst() {
         let t = &fig09(Mode::Quick)[0];
         let last = t.to_csv().lines().last().unwrap().to_string();
-        let vals: Vec<f64> = last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
+        let vals: Vec<f64> = last
+            .split(',')
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
         let (private, shared, cached) = (vals[0], vals[1], vals[2]);
         assert!(shared > private, "shared {shared} <= private {private}");
         assert!(shared > cached, "shared {shared} <= cached {cached}");
@@ -343,8 +380,17 @@ mod tests {
     fn fig11_traffic_adds_overhead() {
         let t = &fig11(Mode::Quick)[0];
         let last = t.to_csv().lines().last().unwrap().to_string();
-        let vals: Vec<f64> = last.split(',').skip(1).map(|v| v.parse().unwrap()).collect();
-        assert!(vals[1] >= vals[0], "+traffic {} < +secure-commu {}", vals[1], vals[0]);
+        let vals: Vec<f64> = last
+            .split(',')
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(
+            vals[1] >= vals[0],
+            "+traffic {} < +secure-commu {}",
+            vals[1],
+            vals[0]
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -134,7 +138,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{slug}.csv"));
         std::fs::write(&path, self.to_csv())?;
@@ -188,7 +198,12 @@ mod tests {
         let path = table().write_csv(&dir).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, table().to_csv());
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig__x"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig__x"));
     }
 
     #[test]

@@ -338,17 +338,13 @@ impl MacStorage {
             .remove(&(src, batch))
             .ok_or_else(|| MgpuError::Protocol(format!("unknown batch {batch} from {src}")))?;
         self.stored -= slot.len();
-        if slot.len() as u32 != expected_len
-            || !(0..expected_len).all(|i| slot.contains_key(&i))
-        {
+        if slot.len() as u32 != expected_len || !(0..expected_len).all(|i| slot.contains_key(&i)) {
             return Err(MgpuError::Protocol(format!(
                 "batch {batch} from {src}: expected blocks 0..{expected_len}, got {}",
                 slot.len()
             )));
         }
-        let ordered: Vec<MsgMac> = (0..expected_len)
-            .map(|i| slot[&i])
-            .collect();
+        let ordered: Vec<MsgMac> = (0..expected_len).map(|i| slot[&i]).collect();
         let ok = verify(&concat_macs(&ordered));
         if ok {
             self.verified_batches += 1;

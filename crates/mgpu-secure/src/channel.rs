@@ -177,9 +177,9 @@ impl Endpoint {
                 "batched block passed to open_block; use open_batched_block".into(),
             ));
         }
-        let mac = wire.mac.ok_or_else(|| {
-            MgpuError::Protocol("unbatched block without a MsgMAC".into())
-        })?;
+        let mac = wire
+            .mac
+            .ok_or_else(|| MgpuError::Protocol("unbatched block without a MsgMAC".into()))?;
         let nonce = PadSeed::new(wire.sender.raw(), self.id.raw(), wire.counter).to_nonce();
         let aad = Self::aad(wire.sender, self.id, wire.counter);
         // Verify first, record freshness second: a forged message must not
@@ -307,7 +307,8 @@ impl Endpoint {
             self.gcm_for(wire.sender)
                 .decrypt_and_tag(&nonce, &aad, &wire.ciphertext);
         let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
-        self.storage.store_block(wire.sender, batch_id, index, mac)?;
+        self.storage
+            .store_block(wire.sender, batch_id, index, mac)?;
         // If the trailer is already here and all blocks arrived, finish.
         let ack = if let Some(trailer) = self.early_trailers.get(&(wire.sender, batch_id)) {
             if self.storage.pending(wire.sender, batch_id) as u32 == trailer.len {

@@ -41,10 +41,7 @@ pub fn partition(total: u32, weights: &[f64]) -> Vec<u32> {
     let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();
     let sum: f64 = clamped.iter().sum();
     let quotas: Vec<f64> = if sum > 0.0 {
-        clamped
-            .iter()
-            .map(|w| f64::from(total) * w / sum)
-            .collect()
+        clamped.iter().map(|w| f64::from(total) * w / sum).collect()
     } else {
         vec![f64::from(total) / weights.len() as f64; weights.len()]
     };
@@ -250,8 +247,16 @@ impl EwmaAllocator {
         // a pair's burst-drain stall scales inversely with its window
         // depth, so for bursts of similar size arriving with probability
         // w_m the expected stall Σ w_m / d_m is minimized by d_m ∝ √w_m.
-        let send_sqrt: Vec<f64> = self.send_weights.iter().map(|w| w.max(0.0).sqrt()).collect();
-        let recv_sqrt: Vec<f64> = self.recv_weights.iter().map(|w| w.max(0.0).sqrt()).collect();
+        let send_sqrt: Vec<f64> = self
+            .send_weights
+            .iter()
+            .map(|w| w.max(0.0).sqrt())
+            .collect();
+        let recv_sqrt: Vec<f64> = self
+            .recv_weights
+            .iter()
+            .map(|w| w.max(0.0).sqrt())
+            .collect();
         let send_alloc = partition(send_pool, &send_sqrt);
         let recv_alloc = partition(recv_pool, &recv_sqrt);
 

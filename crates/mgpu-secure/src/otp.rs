@@ -222,12 +222,7 @@ impl PadWindow {
                 // The block waits for the pad; the slot frees (and the
                 // replacement issues) only when the pad is consumed at `t`.
                 self.refill(t, engine);
-                (
-                    PadTiming::Partial {
-                        remaining: t - now,
-                    },
-                    ctr,
-                )
+                (PadTiming::Partial { remaining: t - now }, ctr)
             }
         }
     }
@@ -261,8 +256,8 @@ impl PadWindow {
     /// Counters before the window or beyond its buffered range are misses
     /// and resync the window to `ctr + 1`.
     pub fn use_pad_at(&mut self, ctr: u64, now: Cycle, engine: &mut AesEngine) -> PadTiming {
-        let in_window = ctr >= self.next_counter
-            && ctr - self.next_counter < self.ready.len() as u64;
+        let in_window =
+            ctr >= self.next_counter && ctr - self.next_counter < self.ready.len() as u64;
         if !in_window {
             self.next_counter = ctr + 1;
             self.ready.clear();

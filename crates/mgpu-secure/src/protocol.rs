@@ -191,9 +191,7 @@ mod tests {
         let w = WireFormat::default();
         for n in [1u32, 2, 16, 64] {
             let sum: u64 = (0..n)
-                .map(|i| {
-                    (w.header + w.block + w.batched_forward_metadata(i, n)).as_u64()
-                })
+                .map(|i| (w.header + w.block + w.batched_forward_metadata(i, n)).as_u64())
                 .sum::<u64>()
                 + w.ack_message().as_u64();
             assert_eq!(sum, w.batched_total(n).as_u64(), "n = {n}");

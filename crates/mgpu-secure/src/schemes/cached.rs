@@ -201,13 +201,7 @@ impl OtpScheme for CachedScheme {
         SendOutcome { timing, counter }
     }
 
-    fn on_recv(
-        &mut self,
-        now: Cycle,
-        peer: NodeId,
-        ctr: u64,
-        engine: &mut AesEngine,
-    ) -> PadTiming {
+    fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
         let (timing, _) = self.classify_use((peer, Direction::Recv), now, Some(ctr), engine);
         self.stats.record(Direction::Recv, timing, engine.latency());
         timing
@@ -276,7 +270,12 @@ mod tests {
         let mut now = Cycle::new(10_000);
         for _ in 0..100 {
             s.on_send(now, NodeId::gpu(2), &mut e);
-            s.on_recv(now, NodeId::gpu(2), s.windows[&(NodeId::gpu(2), Direction::Recv)].next_counter(), &mut e);
+            s.on_recv(
+                now,
+                NodeId::gpu(2),
+                s.windows[&(NodeId::gpu(2), Direction::Recv)].next_counter(),
+                &mut e,
+            );
             now += Duration::cycles(2);
         }
         // Some untouched pair-direction lost its entries.

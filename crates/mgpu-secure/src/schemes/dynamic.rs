@@ -129,13 +129,7 @@ impl OtpScheme for DynamicScheme {
         SendOutcome { timing, counter }
     }
 
-    fn on_recv(
-        &mut self,
-        now: Cycle,
-        peer: NodeId,
-        ctr: u64,
-        engine: &mut AesEngine,
-    ) -> PadTiming {
+    fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
         self.rebalance_to(now, engine);
         self.monitor.observe_recv(peer);
         let window = self.recv.get_mut(&peer).expect("peer within system");

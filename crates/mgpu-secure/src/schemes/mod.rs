@@ -52,8 +52,7 @@ pub trait OtpScheme {
 
     /// Classifies pad availability for an incoming block from `peer`
     /// carrying message counter `ctr`.
-    fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine)
-        -> PadTiming;
+    fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming;
 
     /// Periodic maintenance hook; called by the system model as simulated
     /// time advances. Only `Dynamic` uses it (interval monitoring and

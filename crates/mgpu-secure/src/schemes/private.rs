@@ -62,13 +62,7 @@ impl OtpScheme for PrivateScheme {
         SendOutcome { timing, counter }
     }
 
-    fn on_recv(
-        &mut self,
-        now: Cycle,
-        peer: NodeId,
-        ctr: u64,
-        engine: &mut AesEngine,
-    ) -> PadTiming {
+    fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
         let window = self.recv.get_mut(&peer).expect("peer within system");
         let timing = window.use_pad_for(ctr, now, engine);
         self.stats.record(Direction::Recv, timing, engine.latency());

@@ -73,13 +73,7 @@ impl OtpScheme for SharedScheme {
         SendOutcome { timing, counter }
     }
 
-    fn on_recv(
-        &mut self,
-        now: Cycle,
-        peer: NodeId,
-        ctr: u64,
-        engine: &mut AesEngine,
-    ) -> PadTiming {
+    fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
         let window = self.recv.get_mut(&peer).expect("peer within system");
         // The carried counter is the sender's shared counter; it may have
         // advanced past our speculation window if the sender interleaved

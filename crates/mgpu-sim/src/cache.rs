@@ -166,16 +166,13 @@ impl Cache {
 
         self.misses += 1;
         // Victim: an invalid way, else the LRU way.
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         let victim = set[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             self.writebacks += 1;
@@ -302,7 +299,7 @@ mod tests {
         c.access(0, true); // dirty A in set 0
         c.access(256, false); // B
         c.access(0, false); // touch A
-        // C evicts B (clean): no writeback.
+                            // C evicts B (clean): no writeback.
         match c.access(512, false) {
             AccessOutcome::Miss { writeback } => assert_eq!(writeback, None),
             AccessOutcome::Hit => panic!("expected miss"),
@@ -323,7 +320,7 @@ mod tests {
         c.access(256, false);
         c.access(512, false); // evicts either; force eviction of line 0
         c.access(0, false); // miss: 0 was evicted... ensure determinism below
-        // Simpler check: fill and evict 0 explicitly.
+                            // Simpler check: fill and evict 0 explicitly.
         let mut c = tiny();
         c.access(0, true);
         c.access(256, false);

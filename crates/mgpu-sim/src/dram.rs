@@ -60,7 +60,9 @@ impl Hbm {
     pub fn access(&mut self, now: Cycle, size: ByteSize) -> Cycle {
         let start = now.max(self.next_free);
         let occupancy = Duration::cycles(
-            size.as_u64().div_ceil(u64::from(self.bytes_per_cycle)).max(1),
+            size.as_u64()
+                .div_ceil(u64::from(self.bytes_per_cycle))
+                .max(1),
         );
         self.next_free = start + occupancy;
         self.served += 1;
@@ -88,7 +90,10 @@ mod tests {
     #[test]
     fn single_access_latency() {
         let mut hbm = Hbm::paper_default();
-        assert_eq!(hbm.access(Cycle::ZERO, ByteSize::CACHELINE), Cycle::new(201));
+        assert_eq!(
+            hbm.access(Cycle::ZERO, ByteSize::CACHELINE),
+            Cycle::new(201)
+        );
         assert_eq!(hbm.served(), 1);
         assert_eq!(hbm.bytes(), ByteSize::CACHELINE);
     }

@@ -183,11 +183,7 @@ impl Link {
     /// Transmits a multi-part message whose parts travel together (one
     /// serialization occupancy, per-class accounting). Returns arrival time
     /// of the whole message.
-    pub fn transmit_parts(
-        &mut self,
-        now: Cycle,
-        parts: &[(ByteSize, TrafficClass)],
-    ) -> Cycle {
+    pub fn transmit_parts(&mut self, now: Cycle, parts: &[(ByteSize, TrafficClass)]) -> Cycle {
         let total: ByteSize = parts.iter().map(|(b, _)| *b).sum();
         for &(bytes, class) in parts {
             self.totals.add(class, bytes);
@@ -216,10 +212,7 @@ impl Link {
     /// When the transmitter next becomes free (queue head time).
     #[must_use]
     pub fn next_free(&self) -> Cycle {
-        Cycle::new(
-            self.next_free_bt
-                .div_ceil(u128::from(self.bytes_per_cycle)) as u64,
-        )
+        Cycle::new(self.next_free_bt.div_ceil(u128::from(self.bytes_per_cycle)) as u64)
     }
 
     /// Accumulated per-class traffic.
@@ -255,9 +248,18 @@ mod tests {
         let l = link();
         assert_eq!(l.serialization_delay(ByteSize::new(0)), Duration::ZERO);
         assert_eq!(l.serialization_delay(ByteSize::new(1)), Duration::cycles(1));
-        assert_eq!(l.serialization_delay(ByteSize::new(32)), Duration::cycles(1));
-        assert_eq!(l.serialization_delay(ByteSize::new(33)), Duration::cycles(2));
-        assert_eq!(l.serialization_delay(ByteSize::new(64)), Duration::cycles(2));
+        assert_eq!(
+            l.serialization_delay(ByteSize::new(32)),
+            Duration::cycles(1)
+        );
+        assert_eq!(
+            l.serialization_delay(ByteSize::new(33)),
+            Duration::cycles(2)
+        );
+        assert_eq!(
+            l.serialization_delay(ByteSize::new(64)),
+            Duration::cycles(2)
+        );
     }
 
     #[test]

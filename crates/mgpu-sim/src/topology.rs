@@ -229,11 +229,13 @@ mod tests {
         assert_eq!(topo.ingress(NodeId::CPU).bandwidth(), 32);
         assert_eq!(topo.egress(NodeId::gpu(1)).bandwidth(), 50);
         assert_eq!(
-            topo.ctrl(PairId::new(NodeId::CPU, NodeId::gpu(1))).bandwidth(),
+            topo.ctrl(PairId::new(NodeId::CPU, NodeId::gpu(1)))
+                .bandwidth(),
             32
         );
         assert_eq!(
-            topo.ctrl(PairId::new(NodeId::gpu(1), NodeId::gpu(2))).bandwidth(),
+            topo.ctrl(PairId::new(NodeId::gpu(1), NodeId::gpu(2)))
+                .bandwidth(),
             50
         );
     }
@@ -244,8 +246,11 @@ mod tests {
         let pair = PairId::new(NodeId::gpu(1), NodeId::CPU);
         // 64 B: egress at 50 B/cy (2 cy) + 100 cy latency, then CPU ingress
         // at 32 B/cy (2 cy).
-        let arrival =
-            topo.transmit(pair, Cycle::ZERO, &[(ByteSize::CACHELINE, TrafficClass::Data)]);
+        let arrival = topo.transmit(
+            pair,
+            Cycle::ZERO,
+            &[(ByteSize::CACHELINE, TrafficClass::Data)],
+        );
         assert_eq!(arrival, Cycle::new(2 + 100 + 2));
     }
 
@@ -291,11 +296,18 @@ mod tests {
         let mut topo = Topology::new(&SystemConfig::paper_4gpu());
         let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(2));
         for _ in 0..100 {
-            topo.transmit(pair, Cycle::ZERO, &[(ByteSize::CACHELINE, TrafficClass::Data)]);
+            topo.transmit(
+                pair,
+                Cycle::ZERO,
+                &[(ByteSize::CACHELINE, TrafficClass::Data)],
+            );
         }
         // A control message still goes through immediately.
-        let arrival =
-            topo.transmit_ctrl(pair, Cycle::ZERO, &[(ByteSize::new(16), TrafficClass::Data)]);
+        let arrival = topo.transmit_ctrl(
+            pair,
+            Cycle::ZERO,
+            &[(ByteSize::new(16), TrafficClass::Data)],
+        );
         assert_eq!(arrival, Cycle::new(1 + 100));
     }
 

@@ -20,9 +20,23 @@ fn main() {
         ("dynamic".to_string(), configs::dynamic(&base, 4)),
         ("batching".to_string(), configs::batching(&base, 4)),
     ];
-    println!("{:8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}", "bench", "priv4", "priv16", "shared", "cached", "dyn", "batch");
+    println!(
+        "{:8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "bench", "priv4", "priv16", "shared", "cached", "dyn", "batch"
+    );
     let mut sums = vec![0.0; 6];
-    let benches = [Benchmark::MatrixTranspose, Benchmark::PageRank, Benchmark::Spmv, Benchmark::MatrixMultiplication, Benchmark::Atax, Benchmark::Fft, Benchmark::Kmeans, Benchmark::FloydWarshall, Benchmark::Aes, Benchmark::Fir];
+    let benches = [
+        Benchmark::MatrixTranspose,
+        Benchmark::PageRank,
+        Benchmark::Spmv,
+        Benchmark::MatrixMultiplication,
+        Benchmark::Atax,
+        Benchmark::Fft,
+        Benchmark::Kmeans,
+        Benchmark::FloydWarshall,
+        Benchmark::Aes,
+        Benchmark::Fir,
+    ];
     for b in benches {
         let rs = compare_schemes(b, &cfgs, 1500, 42);
         print!("{:8}", b.abbrev());
@@ -33,9 +47,14 @@ fn main() {
         println!();
     }
     print!("{:8}", "geomean");
-    for s in &sums { print!(" {:9.3}", (s / benches.len() as f64).exp()); }
+    for s in &sums {
+        print!(" {:9.3}", (s / benches.len() as f64).exp());
+    }
     println!();
     // traffic ratios
     let rs = compare_schemes(Benchmark::MatrixTranspose, &cfgs, 1500, 42);
-    println!("mt traffic: priv4={:.3} batch={:.3}", rs[0].traffic_ratio, rs[5].traffic_ratio);
+    println!(
+        "mt traffic: priv4={:.3} batch={:.3}",
+        rs[0].traffic_ratio, rs[5].traffic_ratio
+    );
 }

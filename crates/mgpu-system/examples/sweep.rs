@@ -13,8 +13,10 @@ use mgpu_workloads::{Benchmark, WorkloadParams};
 
 fn main() {
     let base = SystemConfig::paper_4gpu();
-    println!("{:>4} {:>5} {:>5} {:>4} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "out", "burst", "intra", "intr", "priv4", "priv16", "shared", "cached", "dyn", "batch");
+    println!(
+        "{:>4} {:>5} {:>5} {:>4} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "out", "burst", "intra", "intr", "priv4", "priv16", "shared", "cached", "dyn", "batch"
+    );
     for outstanding in [24u32, 48, 96] {
         for burst in [24u32, 40] {
             for intra in [1u64, 2] {
@@ -33,17 +35,35 @@ fn main() {
                     let mut uns = base.clone();
                     uns.security.scheme = OtpSchemeKind::Unsecure;
                     let b = Simulation::new(uns, Benchmark::MatrixTranspose, 42)
-                        .with_workload_params(params).run_for_requests(1200);
+                        .with_workload_params(params)
+                        .run_for_requests(1200);
                     let mut row = Vec::new();
-                    for cfg in [configs::private(&base, 4), configs::private(&base, 16),
-                                configs::shared(&base, 4), configs::cached(&base, 4),
-                                configs::dynamic(&base, 4), configs::batching(&base, 4)] {
+                    for cfg in [
+                        configs::private(&base, 4),
+                        configs::private(&base, 16),
+                        configs::shared(&base, 4),
+                        configs::cached(&base, 4),
+                        configs::dynamic(&base, 4),
+                        configs::batching(&base, 4),
+                    ] {
                         let r = Simulation::new(cfg, Benchmark::MatrixTranspose, 42)
-                            .with_workload_params(params).run_for_requests(1200);
+                            .with_workload_params(params)
+                            .run_for_requests(1200);
                         row.push(r.total_cycles.as_u64() as f64 / b.total_cycles.as_u64() as f64);
                     }
-                    println!("{:>4} {:>5} {:>5} {:>4} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
-                        outstanding, burst, intra, inter, row[0], row[1], row[2], row[3], row[4], row[5]);
+                    println!(
+                        "{:>4} {:>5} {:>5} {:>4} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+                        outstanding,
+                        burst,
+                        intra,
+                        inter,
+                        row[0],
+                        row[1],
+                        row[2],
+                        row[3],
+                        row[4],
+                        row[5]
+                    );
                 }
             }
         }

@@ -7,11 +7,11 @@
 //! and the single ACK. Incoming blocks symmetrically pay the receive-side
 //! pad latency.
 
+use mgpu_crypto::AesEngine;
 use mgpu_secure::batching::SenderBatcher;
 use mgpu_secure::protocol::WireFormat;
 use mgpu_secure::schemes::{build_scheme, OtpScheme};
 use mgpu_sim::link::TrafficClass;
-use mgpu_crypto::AesEngine;
 use mgpu_types::{ByteSize, Cycle, Duration, NodeId, SystemConfig};
 use std::collections::BTreeMap;
 
@@ -96,7 +96,10 @@ impl SecureNic {
             acks = false;
         } else if self.batching {
             let index = *self.open_counts.get(&dst).unwrap_or(&0);
-            parts.push((self.wire.msg_ctr + self.wire.sender_id, TrafficClass::Counter));
+            parts.push((
+                self.wire.msg_ctr + self.wire.sender_id,
+                TrafficClass::Counter,
+            ));
             if index == 0 {
                 parts.push((self.wire.batch_len, TrafficClass::BatchHeader));
             }
@@ -275,11 +278,8 @@ mod tests {
         let dst = NodeId::gpu(2);
         let first = nic.prepare_send(Cycle::new(10_000), dst);
         let second = nic.prepare_send(Cycle::new(10_001), dst);
-        let has_header = |p: &PreparedBlock| {
-            p.parts
-                .iter()
-                .any(|(_, c)| *c == TrafficClass::BatchHeader)
-        };
+        let has_header =
+            |p: &PreparedBlock| p.parts.iter().any(|(_, c)| *c == TrafficClass::BatchHeader);
         assert!(has_header(&first));
         assert!(!has_header(&second));
     }
@@ -296,10 +296,7 @@ mod tests {
         assert_eq!(flushed[0].0, dst);
         // After a flush, the next block restarts a batch (header again).
         let p = nic.prepare_send(Cycle::new(500), dst);
-        assert!(p
-            .parts
-            .iter()
-            .any(|(_, c)| *c == TrafficClass::BatchHeader));
+        assert!(p.parts.iter().any(|(_, c)| *c == TrafficClass::BatchHeader));
     }
 
     #[test]

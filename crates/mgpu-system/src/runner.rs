@@ -178,10 +178,7 @@ mod tests {
     #[test]
     fn config_constructors_set_fields() {
         let base = SystemConfig::paper_4gpu();
-        assert_eq!(
-            configs::private(&base, 16).security.otp_multiplier,
-            16
-        );
+        assert_eq!(configs::private(&base, 16).security.otp_multiplier, 16);
         assert_eq!(
             configs::shared(&base, 4).security.scheme,
             mgpu_types::OtpSchemeKind::Shared

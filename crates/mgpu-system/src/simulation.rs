@@ -88,19 +88,13 @@ enum Ev {
         acks: bool,
     },
     /// The block's data became usable at the requester.
-    BlockDone {
-        idx: usize,
-        acks: bool,
-    },
+    BlockDone { idx: usize, acks: bool },
     /// An ACK reached the original sender: free a replay-table entry.
     AckArrive(NodeId),
     /// Check a node's batcher for timeout flushes.
     FlushCheck(NodeId),
     /// A flushed batch's trailer arrived: the receiver ACKs it.
-    TrailerAck {
-        receiver: NodeId,
-        owner: NodeId,
-    },
+    TrailerAck { receiver: NodeId, owner: NodeId },
 }
 
 impl Simulation {
@@ -169,7 +163,6 @@ impl Simulation {
     fn secure(&self) -> bool {
         self.config.security.scheme != OtpSchemeKind::Unsecure
     }
-
 
     #[allow(clippy::too_many_lines)]
     fn run_requests(&self, queues: BTreeMap<NodeId, VecDeque<Request>>) -> RunReport {
@@ -318,10 +311,7 @@ impl Simulation {
                                 now,
                                 Ev::BlockEgress {
                                     idx,
-                                    parts: vec![(
-                                        wire.header + wire.block,
-                                        TrafficClass::Data,
-                                    )],
+                                    parts: vec![(wire.header + wire.block, TrafficClass::Data)],
                                     counter: 0,
                                     acks: false,
                                 },
@@ -402,10 +392,7 @@ impl Simulation {
                         } else {
                             // Metadata-free ablation: the table entry still
                             // frees after the ACK flight time.
-                            events.schedule(
-                                now + cfg.link_latency,
-                                Ev::AckArrive(owner),
-                            );
+                            events.schedule(now + cfg.link_latency, Ev::AckArrive(owner));
                         }
                     }
                     pending[idx].blocks_left -= 1;
@@ -600,8 +587,7 @@ mod tests {
         let plain =
             Simulation::new(cfg.clone(), Benchmark::MatrixTranspose, 42).run_for_requests(400);
         cfg.security.batching.enabled = true;
-        let batched =
-            Simulation::new(cfg, Benchmark::MatrixTranspose, 42).run_for_requests(400);
+        let batched = Simulation::new(cfg, Benchmark::MatrixTranspose, 42).run_for_requests(400);
         assert!(
             batched.traffic.metadata() < plain.traffic.metadata(),
             "batched {} >= plain {}",
@@ -659,7 +645,11 @@ mod tests {
     #[test]
     fn request_latency_includes_round_trip() {
         let cfg = config(OtpSchemeKind::Unsecure);
-        let reqs = vec![Request::direct(Cycle::new(0), NodeId::gpu(1), NodeId::gpu(2))];
+        let reqs = vec![Request::direct(
+            Cycle::new(0),
+            NodeId::gpu(1),
+            NodeId::gpu(2),
+        )];
         let r = Simulation::new(cfg.clone(), Benchmark::Atax, 0).run_trace(reqs);
         // request ser 1 + latency 100 + dram 200+1 + egress 2+100 + ingress 2.
         let expected = 1 + 100 + 201 + 2 + 100 + 2;

@@ -11,7 +11,6 @@ use core::fmt;
 /// proposed EWMA-driven allocator. Metadata batching is orthogonal and
 /// configured by [`BatchingConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OtpSchemeKind {
     /// No encryption at all: the unsecure baseline every figure normalizes to.
     Unsecure,
@@ -53,7 +52,6 @@ impl fmt::Display for OtpSchemeKind {
 
 /// Parameters of the paper's `Dynamic` OTP allocator (§IV-B, Table III).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DynamicConfig {
     /// EWMA forgetting rate for the send/receive direction split (paper α).
     pub alpha: f64,
@@ -103,7 +101,6 @@ impl DynamicConfig {
 
 /// Parameters of the paper's security-metadata batching (§IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BatchingConfig {
     /// Whether batching is enabled at all.
     pub enabled: bool,
@@ -155,7 +152,6 @@ impl BatchingConfig {
 
 /// Security-layer configuration shared by all schemes.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SecurityConfig {
     /// Active OTP buffer management scheme.
     pub scheme: OtpSchemeKind,
@@ -206,7 +202,6 @@ impl Default for SecurityConfig {
 /// cfg.validate().expect("paper config is valid");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     /// Number of GPUs (the CPU is always present in addition).
     pub gpu_count: u16,
@@ -349,7 +344,10 @@ mod tests {
         assert_eq!(SystemConfig::paper_4gpu().total_otp_buffers_per_node(), 32);
         // §V-D: 64 per GPU at 8 GPUs, 128 per GPU at 16 GPUs.
         assert_eq!(SystemConfig::paper_8gpu().total_otp_buffers_per_node(), 64);
-        assert_eq!(SystemConfig::paper_16gpu().total_otp_buffers_per_node(), 128);
+        assert_eq!(
+            SystemConfig::paper_16gpu().total_otp_buffers_per_node(),
+            128
+        );
     }
 
     #[test]

@@ -19,7 +19,6 @@ use core::fmt;
 /// assert_eq!(NodeId::CPU.gpu_index(), None);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u16);
 
 impl NodeId {
@@ -106,7 +105,6 @@ impl fmt::Display for NodeId {
 /// assert_eq!(p.reversed(), PairId::new(NodeId::gpu(2), NodeId::gpu(1)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PairId {
     /// Sending node.
     pub src: NodeId,
@@ -154,7 +152,6 @@ impl fmt::Display for PairId {
 /// to encrypt outgoing data) and a *receive* table (pads used to decrypt and
 /// authenticate incoming data).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Direction {
     /// Outgoing traffic: this node encrypts and MACs.
     Send,

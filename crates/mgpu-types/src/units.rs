@@ -17,7 +17,6 @@ use core::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t - Cycle::ZERO, Duration::cycles(40));
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -86,7 +85,6 @@ impl fmt::Display for Cycle {
 
 /// A span of simulated time in cycles.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Duration(u64);
 
 impl Duration {
@@ -151,7 +149,6 @@ impl fmt::Display for Duration {
 /// assert_eq!(ByteSize::new(2816).to_string(), "2.75 KB");
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -261,7 +258,10 @@ mod tests {
     fn duration_sum() {
         let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::cycles(n)).sum();
         assert_eq!(total, Duration::cycles(6));
-        assert_eq!(Duration::cycles(3).saturating_sub(Duration::cycles(5)), Duration::ZERO);
+        assert_eq!(
+            Duration::cycles(3).saturating_sub(Duration::cycles(5)),
+            Duration::ZERO
+        );
     }
 
     #[test]

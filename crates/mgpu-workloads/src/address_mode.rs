@@ -93,9 +93,8 @@ impl AddressTraceWorkload {
     /// Runs `count` memory accesses from `gpu` and returns the remote
     /// requests they induce.
     pub fn run(&mut self, gpu: NodeId, count: usize) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (u64::from(gpu.raw()) << 48) ^ 0xA076_1D64_78BD_642F,
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (u64::from(gpu.raw()) << 48) ^ 0xA076_1D64_78BD_642F);
         let mut l1 = Cache::new(CacheConfig::paper_l1_vector());
         let mut l2 = Cache::new(CacheConfig::paper_l2());
         let mut requests = Vec::new();
@@ -116,7 +115,7 @@ impl AddressTraceWorkload {
                     let local = rng.random_range(0..self.params.pages_per_gpu);
                     local * u64::from(self.gpu_count) + gpu_index
                 };
-                addr = page * 4096 + rng.random_range(0..64) * 64;
+                addr = page * 4096 + rng.random_range(0u64..64) * 64;
                 run_left = self.params.run_length;
             }
             run_left -= 1;
@@ -227,7 +226,10 @@ mod tests {
         let first = wl.run(NodeId::gpu(1), 5_000).len();
         let second = wl.run(NodeId::gpu(1), 5_000).len();
         // The tracker persists across runs; later traffic is mostly local.
-        assert!(second * 2 < first.max(1) * 3, "first={first} second={second}");
+        assert!(
+            second * 2 < first.max(1) * 3,
+            "first={first} second={second}"
+        );
     }
 
     #[test]

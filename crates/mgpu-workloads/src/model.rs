@@ -228,7 +228,8 @@ mod tests {
         for b in Benchmark::ALL {
             let reqs = model(b).generate_for(NodeId::gpu(1), 300);
             assert!(
-                reqs.windows(2).all(|w| w[0].available_at <= w[1].available_at),
+                reqs.windows(2)
+                    .all(|w| w[0].available_at <= w[1].available_at),
                 "{b}"
             );
         }
@@ -257,10 +258,16 @@ mod tests {
     #[test]
     fn migration_fraction_produces_migrations() {
         let reqs = model(Benchmark::FloydWarshall).generate_for(NodeId::gpu(1), 2_000);
-        let migrations = reqs.iter().filter(|r| r.kind == AccessKind::PageMigration).count();
+        let migrations = reqs
+            .iter()
+            .filter(|r| r.kind == AccessKind::PageMigration)
+            .count();
         assert!(migrations > 0, "floyd should migrate pages");
         let pr = model(Benchmark::PageRank).generate_for(NodeId::gpu(1), 2_000);
-        let pr_migr = pr.iter().filter(|r| r.kind == AccessKind::PageMigration).count();
+        let pr_migr = pr
+            .iter()
+            .filter(|r| r.kind == AccessKind::PageMigration)
+            .count();
         assert!(
             migrations * pr.len() > pr_migr * reqs.len(),
             "floyd migrates more than pagerank"
@@ -313,17 +320,24 @@ mod tests {
         assert_eq!(all.len(), 200);
         for gpu in 1..=4u16 {
             assert_eq!(
-                all.iter().filter(|r| r.requester == NodeId::gpu(gpu)).count(),
+                all.iter()
+                    .filter(|r| r.requester == NodeId::gpu(gpu))
+                    .count(),
                 50
             );
         }
-        assert!(all.windows(2).all(|w| w[0].available_at <= w[1].available_at));
+        assert!(all
+            .windows(2)
+            .all(|w| w[0].available_at <= w[1].available_at));
     }
 
     #[test]
     fn exact_request_count() {
         for n in [1usize, 17, 100] {
-            assert_eq!(model(Benchmark::Fft).generate_for(NodeId::gpu(3), n).len(), n);
+            assert_eq!(
+                model(Benchmark::Fft).generate_for(NodeId::gpu(3), n).len(),
+                n
+            );
         }
     }
 

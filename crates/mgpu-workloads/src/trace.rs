@@ -163,8 +163,10 @@ impl Trace {
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(self.requests.len() * 16);
-        out.push_str("# mgpu-trace v1: cycle requester target kind
-");
+        out.push_str(
+            "# mgpu-trace v1: cycle requester target kind
+",
+        );
         for r in &self.requests {
             let kind = match r.kind {
                 AccessKind::DirectBlock => "D",
@@ -186,11 +188,7 @@ impl Trace {
     /// consecutive windows (Fig. 14): for each window, blocks pulled from
     /// each peer.
     #[must_use]
-    pub fn destination_timeline(
-        &self,
-        node: NodeId,
-        window: u64,
-    ) -> Vec<BTreeMap<NodeId, u64>> {
+    pub fn destination_timeline(&self, node: NodeId, window: u64) -> Vec<BTreeMap<NodeId, u64>> {
         assert!(window > 0, "window must be non-zero");
         let mut timeline: Vec<BTreeMap<NodeId, u64>> = Vec::new();
         for r in self.requests.iter().filter(|r| r.requester == node) {
@@ -213,7 +211,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -367,8 +369,7 @@ mod tests {
                     .map(|(&n, _)| n)
             })
             .collect();
-        let distinct: std::collections::BTreeSet<_> =
-            dominant.iter().flatten().copied().collect();
+        let distinct: std::collections::BTreeSet<_> = dominant.iter().flatten().copied().collect();
         assert!(distinct.len() >= 2, "dominant peers: {dominant:?}");
     }
 
@@ -413,7 +414,9 @@ mod tests {
         assert!("1 1 2 Q".parse::<Trace>().is_err()); // bad kind
         assert!("1 1 2 D extra".parse::<Trace>().is_err()); // trailing
         let err = "ok
-".parse::<Trace>().unwrap_err();
+"
+        .parse::<Trace>()
+        .unwrap_err();
         assert!(err.to_string().contains("line 1"));
     }
 
@@ -423,7 +426,9 @@ mod tests {
 
 10 1 2 D
 20 2 0 M
-".parse().unwrap();
+"
+        .parse()
+        .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.requests()[1].kind, AccessKind::PageMigration);
         assert_eq!(t.requests()[1].target, NodeId::CPU);

@@ -52,7 +52,12 @@ fn main() {
         for i in 0..60u64 {
             let ctr = i; // receive path tracks the sender's counters
             let _ = ctr;
-            scheme.on_recv(now, NodeId::gpu(4), recv_ctr(&scheme, NodeId::gpu(4)), &mut engine);
+            scheme.on_recv(
+                now,
+                NodeId::gpu(4),
+                recv_ctr(&scheme, NodeId::gpu(4)),
+                &mut engine,
+            );
             now += Duration::cycles(15);
         }
         scheme.advance(now, &mut engine);
@@ -64,7 +69,12 @@ fn main() {
         for _ in 0..30 {
             scheme.on_send(now, NodeId::CPU, &mut engine);
             now += Duration::cycles(15);
-            scheme.on_recv(now, NodeId::CPU, recv_ctr(&scheme, NodeId::CPU), &mut engine);
+            scheme.on_recv(
+                now,
+                NodeId::CPU,
+                recv_ctr(&scheme, NodeId::CPU),
+                &mut engine,
+            );
             now += Duration::cycles(15);
         }
         scheme.advance(now, &mut engine);

@@ -24,11 +24,13 @@ fn main() {
     // 2. The paper's full proposal: Dynamic OTP management + batching.
     config.security.scheme = OtpSchemeKind::Dynamic;
     config.security.batching.enabled = true;
-    let secured =
-        Simulation::new(config.clone(), benchmark, 42).run_for_requests(requests_per_gpu);
+    let secured = Simulation::new(config.clone(), benchmark, 42).run_for_requests(requests_per_gpu);
 
     println!("benchmark        : {benchmark} ({})", benchmark.suite());
-    println!("requests         : {} ({} blocks)", secured.requests, secured.blocks);
+    println!(
+        "requests         : {} ({} blocks)",
+        secured.requests, secured.blocks
+    );
     println!("unsecure time    : {}", baseline.total_cycles);
     println!("secured time     : {}", secured.total_cycles);
     println!(
@@ -47,5 +49,8 @@ fn main() {
         "recv pads hidden : {:.1}%",
         secured.otp.hidden_fraction(Direction::Recv) * 100.0
     );
-    println!("batch occupancy  : {:.1} blocks", secured.mean_batch_occupancy);
+    println!(
+        "batch occupancy  : {:.1} blocks",
+        secured.mean_batch_occupancy
+    );
 }

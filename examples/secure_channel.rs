@@ -19,7 +19,11 @@ fn main() {
     // --- 1. A protected cacheline transfer with replay-checked ACK. ---
     let cacheline = [0xC5u8; 64];
     let wire = gpu1.seal_block(gpu2.id(), &cacheline);
-    println!("block ctr={} ciphertext[..8]={:02x?}", wire.counter, &wire.ciphertext[..8]);
+    println!(
+        "block ctr={} ciphertext[..8]={:02x?}",
+        wire.counter,
+        &wire.ciphertext[..8]
+    );
     let (plain, ack) = gpu2.open_block(&wire).expect("authentic block");
     assert_eq!(plain, cacheline);
     gpu1.accept_ack(&ack).expect("fresh ACK");
@@ -33,7 +37,10 @@ fn main() {
         trailer.id, trailer.len, trailer.mac
     );
     // The trailer races ahead; blocks arrive evens-then-odds.
-    assert!(gpu2.accept_trailer(&trailer).expect("no tamper yet").is_none());
+    assert!(gpu2
+        .accept_trailer(&trailer)
+        .expect("no tamper yet")
+        .is_none());
     wires.rotate_left(1); // mild reordering on top
     let mut ack = None;
     for wire in &wires {
@@ -43,7 +50,8 @@ fn main() {
             ack = Some(a);
         }
     }
-    gpu1.accept_ack(&ack.expect("batch verified")).expect("fresh batch ACK");
+    gpu1.accept_ack(&ack.expect("batch verified"))
+        .expect("fresh batch ACK");
     println!("batch: all 16 blocks verified lazily, single ACK\n");
 
     // --- 3. Attack gallery: every tamper must be caught. ---

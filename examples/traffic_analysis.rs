@@ -32,7 +32,10 @@ fn main() {
         "32-block groups within 160 cycles: {:.1}% (paper avg: 44.2%)\n",
         trace.accumulation_fraction_within(32, 160) * 100.0
     );
-    println!("16-block accumulation histogram:\n{}", trace.accumulation_histogram(16));
+    println!(
+        "16-block accumulation histogram:\n{}",
+        trace.accumulation_histogram(16)
+    );
 
     // Traffic breakdown: unsecure vs Private vs the full batched scheme.
     let mut unsecure_cfg = base.clone();
@@ -57,7 +60,10 @@ fn main() {
                 baseline_total = Some(total);
                 String::new()
             }
-            Some(base_total) => format!(" ({:+.1}%)", (total as f64 / base_total as f64 - 1.0) * 100.0),
+            Some(base_total) => format!(
+                " ({:+.1}%)",
+                (total as f64 / base_total as f64 - 1.0) * 100.0
+            ),
         };
         println!(
             "{label:18} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6.0}K{suffix}",

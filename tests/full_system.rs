@@ -90,7 +90,11 @@ fn metadata_traffic_band_matches_paper() {
     // Paper Fig. 12: ~36.5% average traffic increase for Private.
     let base = configs::private(&SystemConfig::paper_4gpu(), 4);
     let mut ratios = Vec::new();
-    for bench in [Benchmark::MatrixTranspose, Benchmark::Fft, Benchmark::Kmeans] {
+    for bench in [
+        Benchmark::MatrixTranspose,
+        Benchmark::Fft,
+        Benchmark::Kmeans,
+    ] {
         let (secure, baseline) = run_with_baseline(&base, bench, REQS, SEED);
         ratios.push(secure.traffic_ratio(&baseline));
     }
@@ -163,7 +167,11 @@ fn otp_stats_cover_every_block() {
 fn aes_latency_sensitivity_is_bounded_for_ours() {
     // Paper Fig. 26: reducing AES latency 40 -> 10 helps, but only by a
     // few points on average — most of the residual is elsewhere.
-    let suite = [Benchmark::MatrixTranspose, Benchmark::Kmeans, Benchmark::Fir];
+    let suite = [
+        Benchmark::MatrixTranspose,
+        Benchmark::Kmeans,
+        Benchmark::Fir,
+    ];
     let mut geos = Vec::new();
     for cycles in [10u64, 40] {
         let mut base = SystemConfig::paper_4gpu();
@@ -176,7 +184,10 @@ fn aes_latency_sensitivity_is_bounded_for_ours() {
         }
         geos.push(geomean(&times));
     }
-    assert!(geos[0] <= geos[1] + 1e-9, "faster AES should not hurt: {geos:?}");
+    assert!(
+        geos[0] <= geos[1] + 1e-9,
+        "faster AES should not hurt: {geos:?}"
+    );
     assert!(geos[1] - geos[0] < 0.2, "sensitivity too strong: {geos:?}");
 }
 

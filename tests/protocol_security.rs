@@ -54,9 +54,9 @@ fn every_random_tamper_is_detected() {
         let mut bad: WireBlock = wire.clone();
         if rng.random_bool(0.5) {
             let idx = rng.random_range(0..bad.ciphertext.len());
-            bad.ciphertext[idx] ^= 1 << rng.random_range(0..8);
+            bad.ciphertext[idx] ^= 1u8 << rng.random_range(0u32..8);
         } else if let Some(mac) = bad.mac.as_mut() {
-            mac[rng.random_range(0..8)] ^= 1 << rng.random_range(0..8);
+            mac[rng.random_range(0usize..8)] ^= 1u8 << rng.random_range(0u32..8);
         }
         match nodes.get_mut(&NodeId::gpu(2)).unwrap().open_block(&bad) {
             Err(MgpuError::AuthenticationFailed { .. }) => {}
@@ -68,7 +68,11 @@ fn every_random_tamper_is_detected() {
             .unwrap()
             .open_block(&wire)
             .expect("genuine block accepted after failed attack");
-        nodes.get_mut(&NodeId::gpu(1)).unwrap().accept_ack(&ack).unwrap();
+        nodes
+            .get_mut(&NodeId::gpu(1))
+            .unwrap()
+            .accept_ack(&ack)
+            .unwrap();
     }
 }
 
@@ -103,7 +107,11 @@ fn batches_survive_random_permutations() {
             ack = receiver.accept_trailer(&trailer).unwrap();
         }
         let ack = ack.expect("batch must verify");
-        nodes.get_mut(&NodeId::gpu(1)).unwrap().accept_ack(&ack).unwrap();
+        nodes
+            .get_mut(&NodeId::gpu(1))
+            .unwrap()
+            .accept_ack(&ack)
+            .unwrap();
     }
 }
 
@@ -120,7 +128,10 @@ fn replayed_batches_are_rejected() {
         for wire in &wires {
             receiver.open_batched_block(wire).unwrap();
         }
-        receiver.accept_trailer(&trailer).unwrap().expect("verified");
+        receiver
+            .accept_trailer(&trailer)
+            .unwrap()
+            .expect("verified");
     }
     // Replay the whole batch: the trailer's batch id is stale.
     let receiver = nodes.get_mut(&NodeId::gpu(2)).unwrap();
@@ -141,7 +152,11 @@ fn cross_pair_isolation() {
         .seal_block(NodeId::gpu(2), &[9; 64]);
     let mut redirected = wire;
     redirected.receiver = NodeId::gpu(3);
-    match nodes.get_mut(&NodeId::gpu(3)).unwrap().open_block(&redirected) {
+    match nodes
+        .get_mut(&NodeId::gpu(3))
+        .unwrap()
+        .open_block(&redirected)
+    {
         Err(MgpuError::AuthenticationFailed { .. }) => {}
         other => panic!("cross-pair redirect survived: {other:?}"),
     }

@@ -1,0 +1,460 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment for this workspace has no crates.io mirror, so the
+//! real `proptest` crate cannot be fetched. This vendored stand-in keeps
+//! the workspace's property tests running: it implements the `proptest!`
+//! macro, the `Strategy` trait with `prop_map`, integer/float range and
+//! tuple strategies, `collection::vec`, `array::uniform12/16`,
+//! `sample::Index`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the panic
+//!   message (the case index and seed), not a minimized counterexample.
+//! * **Deterministic.** Cases derive from a fixed seed so CI failures
+//!   reproduce locally byte-for-byte. Set `PROPTEST_CASES` to change the
+//!   case count (default 64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+/// Everything a `proptest!` test body usually imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// Generates values of `Self::Value` from a seeded RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+}
+
+use strategy::Strategy;
+
+/// Marker for types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical full-range strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2));
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Number-of-elements specification: a fixed count or a half-open or
+    /// inclusive range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Fixed-size array strategies (subset: `uniform12`, `uniform16`).
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    macro_rules! uniform {
+        ($name:ident, $n:expr, $doc:expr) => {
+            #[doc = $doc]
+            pub fn $name<S: Strategy>(element: S) -> Uniform<S, $n> {
+                Uniform { element }
+            }
+        };
+    }
+
+    /// Strategy for `[S::Value; N]`.
+    #[derive(Debug, Clone)]
+    pub struct Uniform<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            core::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    uniform!(uniform12, 12, "Generates `[T; 12]` arrays element-wise.");
+    uniform!(uniform16, 16, "Generates `[T; 16]` arrays element-wise.");
+}
+
+/// Index-into-a-collection support (subset: [`sample::Index`]).
+pub mod sample {
+    use super::Arbitrary;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// An index drawn independently of the collection it will address:
+    /// `index(len)` maps it uniformly into `0..len`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this index into `0..len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        #[must_use]
+        pub fn index(self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            // Widening multiply keeps the mapping uniform and monotone.
+            ((u128::from(self.0) * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Test-case plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+
+    /// Runs the configured number of deterministic cases.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::test_runner::Config::default();
+                for case in 0..config.cases {
+                    // Each (test, case) pair gets its own reproducible
+                    // stream; the name hash decorrelates sibling tests.
+                    let mut seed: u64 = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+                    for b in stringify!($name).bytes() {
+                        seed = seed.wrapping_mul(31).wrapping_add(u64::from(b));
+                    }
+                    let mut proptest_rng =
+                        <$crate::__StdRng as $crate::SeedableRng>::seed_from_u64(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut proptest_rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {case} (seed {seed:#x}): {msg}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case unless `cond` holds (counts as neither pass nor
+/// fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(any::<u8>(), 16)) {
+            prop_assert_eq!(v.len(), 16);
+        }
+
+        #[test]
+        fn arrays_and_maps(a in crate::array::uniform16(any::<u8>())) {
+            let doubled = crate::array::uniform16(any::<u8>())
+                .prop_map(|arr: [u8; 16]| arr.len());
+            let mut rng = <crate::__StdRng as crate::SeedableRng>::seed_from_u64(1);
+            prop_assert_eq!(crate::strategy::Strategy::generate(&doubled, &mut rng), 16);
+            prop_assert_eq!(a.len(), 16);
+        }
+
+        #[test]
+        fn tuples_generate(pair in (0usize..4, any::<bool>())) {
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn index_maps_uniformly_into_len() {
+        use crate::sample::Index;
+        use crate::Arbitrary;
+        let mut rng = <crate::__StdRng as crate::SeedableRng>::seed_from_u64(9);
+        for _ in 0..100 {
+            let idx = Index::arbitrary(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_panic_with_context() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
