@@ -9,9 +9,20 @@
 //! the total, the git revision, and the run mode, so performance can be
 //! tracked across commits.
 
+use mgpu_experiments::common::cache_counters;
 use mgpu_experiments::{find, registry, Mode};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// One experiment's entry in the benchmark record: wall-clock plus the
+/// cell-cache delta, so warm-cache timings are distinguishable from real
+/// simulation work.
+struct Timing {
+    id: String,
+    seconds: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
 
 fn usage() -> ExitCode {
     eprintln!("usage: repro [--quick] [--csv DIR] [--bench-json FILE] <id>... | all | list");
@@ -57,7 +68,7 @@ fn json_escape(s: &str) -> String {
 
 /// Renders the benchmark record. Hand-rolled JSON: the schema is four keys
 /// and a flat array, not worth a serializer dependency.
-fn bench_json(mode: Mode, timings: &[(String, f64)], total_seconds: f64) -> String {
+fn bench_json(mode: Mode, timings: &[Timing], total_seconds: f64) -> String {
     let mode_name = match mode {
         Mode::Full => "full",
         Mode::Quick => "quick",
@@ -71,11 +82,15 @@ fn bench_json(mode: Mode, timings: &[(String, f64)], total_seconds: f64) -> Stri
     out.push_str(&format!("  \"mode\": \"{mode_name}\",\n"));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
     out.push_str("  \"experiments\": [\n");
-    for (i, (id, seconds)) in timings.iter().enumerate() {
+    for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"seconds\": {seconds:.3}}}{comma}\n",
-            json_escape(id)
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"cache_hits\": {}, \
+             \"cache_misses\": {}}}{comma}\n",
+            json_escape(&t.id),
+            t.seconds,
+            t.cache_hits,
+            t.cache_misses
         ));
     }
     out.push_str("  ]\n}\n");
@@ -117,7 +132,7 @@ fn main() -> ExitCode {
     let ids = dedup_preserving_order(ids);
 
     let suite_started = std::time::Instant::now();
-    let mut timings: Vec<(String, f64)> = Vec::with_capacity(ids.len());
+    let mut timings: Vec<Timing> = Vec::with_capacity(ids.len());
     for id in &ids {
         let Some(exp) = find(id) else {
             eprintln!("unknown experiment: {id}");
@@ -125,6 +140,7 @@ fn main() -> ExitCode {
         };
         eprintln!("running {id} ({})...", exp.title);
         let started = std::time::Instant::now();
+        let (hits_before, misses_before) = cache_counters();
         let tables = (exp.run)(mode);
         for table in &tables {
             println!("{}", table.to_text());
@@ -139,8 +155,18 @@ fn main() -> ExitCode {
             }
         }
         let seconds = started.elapsed().as_secs_f64();
-        eprintln!("{id} finished in {seconds:.1}s");
-        timings.push((id.clone(), seconds));
+        let (hits_after, misses_after) = cache_counters();
+        let cache_hits = hits_after - hits_before;
+        let cache_misses = misses_after - misses_before;
+        eprintln!(
+            "{id} finished in {seconds:.1}s ({cache_hits} cached cells, {cache_misses} simulated)"
+        );
+        timings.push(Timing {
+            id: id.clone(),
+            seconds,
+            cache_hits,
+            cache_misses,
+        });
     }
     let total_seconds = suite_started.elapsed().as_secs_f64();
     eprintln!(

@@ -18,7 +18,7 @@
 //! mutable simulation state (asserted in tests).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use mgpu_system::runner::configs;
@@ -86,6 +86,23 @@ fn cache_enabled() -> bool {
     std::env::var("MGPU_CELL_CACHE").map_or(true, |v| v != "0")
 }
 
+/// Cells served from the cache since process start.
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Cells actually simulated since process start (including runs with the
+/// cache disabled).
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(cache_hits, cache_misses)` of the cell cache. The
+/// `repro` binary diffs these around each experiment so `BENCH_repro.json`
+/// can tell warm-cache timings from real work.
+#[must_use]
+pub fn cache_counters() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 /// Worker threads used by [`run_many`]: `MGPU_WORKERS` if set, otherwise
 /// the machine's available parallelism.
 #[must_use]
@@ -111,12 +128,15 @@ fn simulate(cfg: &SystemConfig, bench: Benchmark, requests: usize) -> RunReport 
 pub fn run(cfg: &SystemConfig, bench: Benchmark, mode: Mode) -> RunReport {
     let requests = mode.requests();
     if !cache_enabled() {
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
         return simulate(cfg, bench, requests);
     }
     let key = cell_key(cfg, bench, requests);
     if let Some(hit) = cell_cache().lock().expect("cell cache poisoned").get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
         return hit.clone();
     }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let report = simulate(cfg, bench, requests);
     cell_cache()
         .lock()
@@ -341,5 +361,20 @@ mod tests {
     #[test]
     fn workers_is_positive() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn cache_counters_advance_on_hit_and_miss() {
+        let cfg = configs::dynamic(&SystemConfig::paper_4gpu(), 4);
+        // A distinctive benchmark keeps this cell out of other tests' way.
+        let (h0, m0) = cache_counters();
+        let _ = run(&cfg, Benchmark::Mvt, Mode::Bench);
+        let (h1, m1) = cache_counters();
+        assert!(h1 + m1 > h0 + m0, "first run must count a hit or a miss");
+        let _ = run(&cfg, Benchmark::Mvt, Mode::Bench);
+        let (h2, _) = cache_counters();
+        if cache_enabled() {
+            assert!(h2 > h1, "second identical run must be a cache hit");
+        }
     }
 }

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod common;
 pub mod evaluation;
 pub mod motivation;
@@ -146,6 +147,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ablation-interval",
             title: "Ablation: Dynamic interval sweep",
             run: evaluation::ablation_interval,
+        },
+        Experiment {
+            id: "attack_campaign",
+            title: "Adversary campaign: injection-rate sweep vs detection",
+            run: attack::attack_campaign,
         },
     ]
 }

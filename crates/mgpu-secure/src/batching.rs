@@ -105,10 +105,17 @@ impl SenderBatcher {
     ///
     /// # Panics
     ///
-    /// Panics if `batch_size` is zero.
+    /// Panics unless `batch_size` is in `1..=255`: the wire format carries
+    /// the batch length in a 1 B field ([`ClosedBatch::len`]), so a larger
+    /// batch would silently wrap on the wire. The bound is enforced here
+    /// (panic, not clamp) because a wrapped length is a protocol
+    /// correctness bug, not a tunable.
     #[must_use]
     pub fn new(batch_size: u32, flush_timeout: Duration) -> Self {
-        assert!(batch_size > 0, "batch size must be >= 1");
+        assert!(
+            (1..=255).contains(&batch_size),
+            "batch size must fit the 1 B wire length field (1..=255), got {batch_size}"
+        );
         SenderBatcher {
             batch_size,
             flush_timeout,
@@ -155,6 +162,40 @@ impl SenderBatcher {
         } else {
             None
         }
+    }
+
+    /// The `(batch id, index)` slot the *next* block added for `dst` will
+    /// occupy — the wire labeling a streaming sender attaches to a block
+    /// before handing it to [`add_block`].
+    ///
+    /// [`add_block`]: SenderBatcher::add_block
+    #[must_use]
+    pub fn peek_slot(&self, dst: NodeId) -> (BatchId, u32) {
+        match self.open.get(&dst) {
+            Some(b) => (b.id, b.macs.len() as u32),
+            None => (self.next_id.get(&dst).copied().unwrap_or(0), 0),
+        }
+    }
+
+    /// Forces the open batch toward `dst` (if any) closed, regardless of
+    /// its age — a per-destination [`flush_all`].
+    ///
+    /// [`flush_all`]: SenderBatcher::flush_all
+    pub fn flush_dst(&mut self, dst: NodeId) -> Option<ClosedBatch> {
+        self.open.remove(&dst).map(|b| {
+            self.closed_flush += 1;
+            ClosedBatch {
+                dst,
+                id: b.id,
+                macs: b.macs,
+            }
+        })
+    }
+
+    /// The configured maximum blocks per batch.
+    #[must_use]
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
     }
 
     /// Closes and returns every batch that has been open longer than the
@@ -263,6 +304,7 @@ pub struct MacStorage {
     stored: usize,
     peak: usize,
     verified_batches: u64,
+    rejected_completions: u64,
 }
 
 impl MacStorage {
@@ -276,6 +318,7 @@ impl MacStorage {
             stored: 0,
             peak: 0,
             verified_batches: 0,
+            rejected_completions: 0,
         }
     }
 
@@ -318,11 +361,25 @@ impl MacStorage {
 
     /// Completes a batch: checks that exactly `expected_len` consecutive
     /// blocks `0..expected_len` are present, hands their ordered
-    /// concatenation to `verify`, and frees the storage.
+    /// concatenation to `verify`, and frees the storage **only when
+    /// verification succeeds**.
+    ///
+    /// On a length mismatch or a `verify == false` outcome the stored MACs
+    /// are retained (and [`rejected_completions`] is incremented): the
+    /// trailer that failed may be an attacker's forgery, and discarding the
+    /// slot would let that forgery permanently block the genuine trailer —
+    /// the same re-insert discipline [`crate::replay::ReplayGuard::accept_ack`]
+    /// applies to a mismatched ACK. Use [`discard`] to reclaim a slot whose
+    /// genuine trailer will never verify (tampered blocks awaiting
+    /// retransmission).
     ///
     /// # Errors
     ///
-    /// Returns [`MgpuError::Protocol`] if blocks are missing or extra.
+    /// Returns [`MgpuError::Protocol`] if the batch is unknown or blocks
+    /// are missing or extra.
+    ///
+    /// [`rejected_completions`]: MacStorage::rejected_completions
+    /// [`discard`]: MacStorage::discard
     pub fn complete<F>(
         &mut self,
         src: NodeId,
@@ -335,10 +392,10 @@ impl MacStorage {
     {
         let slot = self
             .slots
-            .remove(&(src, batch))
+            .get(&(src, batch))
             .ok_or_else(|| MgpuError::Protocol(format!("unknown batch {batch} from {src}")))?;
-        self.stored -= slot.len();
         if slot.len() as u32 != expected_len || !(0..expected_len).all(|i| slot.contains_key(&i)) {
+            self.rejected_completions += 1;
             return Err(MgpuError::Protocol(format!(
                 "batch {batch} from {src}: expected blocks 0..{expected_len}, got {}",
                 slot.len()
@@ -347,9 +404,22 @@ impl MacStorage {
         let ordered: Vec<MsgMac> = (0..expected_len).map(|i| slot[&i]).collect();
         let ok = verify(&concat_macs(&ordered));
         if ok {
+            let slot = self.slots.remove(&(src, batch)).expect("checked above");
+            self.stored -= slot.len();
             self.verified_batches += 1;
+        } else {
+            self.rejected_completions += 1;
         }
         Ok(ok)
+    }
+
+    /// Drops everything stored for `(src, batch)` and returns how many
+    /// MACs were freed. Recovery path after a batch provably cannot verify
+    /// (e.g. tampered blocks that the sender will retransmit).
+    pub fn discard(&mut self, src: NodeId, batch: BatchId) -> usize {
+        let freed = self.slots.remove(&(src, batch)).map_or(0, |s| s.len());
+        self.stored -= freed;
+        freed
     }
 
     /// High-water mark of stored MACs (for the paper's 2 KB sizing check).
@@ -362,6 +432,14 @@ impl MacStorage {
     #[must_use]
     pub fn verified_batches(&self) -> u64 {
         self.verified_batches
+    }
+
+    /// Completion attempts rejected (wrong length or failed verification)
+    /// with the slot retained — each one is a detected attack or a
+    /// protocol violation.
+    #[must_use]
+    pub fn rejected_completions(&self) -> u64 {
+        self.rejected_completions
     }
 }
 
@@ -490,6 +568,98 @@ mod tests {
         let ok = s.complete(src, 0, 1, |_| false).unwrap();
         assert!(!ok);
         assert_eq!(s.verified_batches(), 0);
+    }
+
+    #[test]
+    fn batch_size_boundary_255_is_accepted() {
+        let mut b = SenderBatcher::new(255, Duration::cycles(160));
+        let dst = NodeId::gpu(2);
+        for _ in 0..254 {
+            assert!(b.add_block(Cycle::ZERO, dst, [0; 8]).is_none());
+        }
+        let closed = b.add_block(Cycle::ZERO, dst, [0; 8]).expect("full at 255");
+        assert_eq!(closed.len(), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 B wire length field")]
+    fn batch_size_256_overflows_length_field_and_panics() {
+        let _ = SenderBatcher::new(256, Duration::cycles(160));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 B wire length field")]
+    fn batch_size_zero_panics() {
+        let _ = SenderBatcher::new(0, Duration::cycles(160));
+    }
+
+    #[test]
+    fn peek_slot_tracks_open_batch_and_next_id() {
+        let mut b = SenderBatcher::new(3, Duration::cycles(160));
+        let dst = NodeId::gpu(2);
+        assert_eq!(b.peek_slot(dst), (0, 0));
+        b.add_block(Cycle::ZERO, dst, [0; 8]);
+        assert_eq!(b.peek_slot(dst), (0, 1));
+        b.add_block(Cycle::ZERO, dst, [1; 8]);
+        assert!(b.add_block(Cycle::ZERO, dst, [2; 8]).is_some());
+        // Batch 0 closed: the next block opens batch 1 at index 0.
+        assert_eq!(b.peek_slot(dst), (1, 0));
+    }
+
+    #[test]
+    fn flush_dst_closes_only_that_destination() {
+        let mut b = SenderBatcher::new(16, Duration::cycles(160));
+        b.add_block(Cycle::ZERO, NodeId::gpu(2), [1; 8]);
+        b.add_block(Cycle::ZERO, NodeId::gpu(3), [2; 8]);
+        let closed = b.flush_dst(NodeId::gpu(2)).expect("open batch");
+        assert_eq!(closed.dst, NodeId::gpu(2));
+        assert_eq!(closed.len(), 1);
+        assert!(b.flush_dst(NodeId::gpu(2)).is_none());
+        // GPU 3's batch is untouched.
+        assert_eq!(b.peek_slot(NodeId::gpu(3)), (0, 1));
+        assert_eq!(b.batch_size(), 16);
+    }
+
+    #[test]
+    fn wrong_length_completion_retains_slot_for_genuine_trailer() {
+        // Satellite regression: an attacker trailer with a wrong length
+        // must not discard the legitimately stored MACs.
+        let mut s = MacStorage::new(64);
+        let src = NodeId::gpu(1);
+        for i in 0..4u32 {
+            s.store_block(src, 0, i, [i as u8; 8]).unwrap();
+        }
+        assert!(s.complete(src, 0, 5, |_| true).is_err());
+        assert_eq!(s.rejected_completions(), 1);
+        assert_eq!(s.pending(src, 0), 4, "slot survived the forged trailer");
+        // The genuine trailer still verifies afterwards.
+        let expected = concat_macs(&[[0; 8], [1; 8], [2; 8], [3; 8]]);
+        assert!(s.complete(src, 0, 4, |c| c == expected).unwrap());
+        assert_eq!(s.pending(src, 0), 0);
+    }
+
+    #[test]
+    fn failed_verification_retains_slot_and_counts() {
+        let mut s = MacStorage::new(64);
+        let src = NodeId::gpu(1);
+        s.store_block(src, 0, 0, [0xAA; 8]).unwrap();
+        assert!(!s.complete(src, 0, 1, |_| false).unwrap());
+        assert_eq!(s.rejected_completions(), 1);
+        // Retained: a retransmitted genuine trailer can still complete.
+        assert_eq!(s.pending(src, 0), 1);
+        assert!(s.complete(src, 0, 1, |_| true).unwrap());
+    }
+
+    #[test]
+    fn discard_frees_capacity() {
+        let mut s = MacStorage::new(2);
+        let src = NodeId::gpu(1);
+        s.store_block(src, 0, 0, [0; 8]).unwrap();
+        s.store_block(src, 0, 1, [1; 8]).unwrap();
+        assert!(s.store_block(src, 1, 0, [2; 8]).is_err(), "full");
+        assert_eq!(s.discard(src, 0), 2);
+        assert_eq!(s.discard(src, 0), 0);
+        s.store_block(src, 1, 0, [2; 8]).unwrap();
     }
 
     #[test]

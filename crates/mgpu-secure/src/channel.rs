@@ -7,7 +7,7 @@
 //! from-scratch crypto. Integration tests and the `secure_channel` example
 //! drive attacks (bit flips, replays, reordering) against it.
 
-use crate::batching::{concat_macs, BatchId, MacStorage, MsgMac, SenderBatcher};
+use crate::batching::{concat_macs, BatchId, ClosedBatch, MacStorage, MsgMac, SenderBatcher};
 use crate::key_exchange::KeyExchange;
 use crate::replay::ReplayGuard;
 use mgpu_crypto::pad::PadSeed;
@@ -18,8 +18,9 @@ use std::collections::BTreeMap;
 /// Payload size of one protected block (a 64 B cacheline).
 pub const BLOCK_SIZE: usize = 64;
 
-/// Batch-id counters live in a disjoint nonce space from block counters.
-const BATCH_NONCE_BIT: u64 = 1 << 63;
+/// Batch-id counters live in a disjoint nonce space from block counters:
+/// ACKs for batch trailers echo `id | BATCH_NONCE_BIT` as their counter.
+pub const BATCH_NONCE_BIT: u64 = 1 << 63;
 
 /// One protected block on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +123,24 @@ impl Endpoint {
         }
     }
 
+    /// Rebuilds the endpoint's sender batcher with explicit parameters,
+    /// so the functional channel can mirror a [`BatchingConfig`]'s batch
+    /// size and flush timeout instead of the defaults.
+    ///
+    /// Call before any traffic is sealed; an open batch would be lost.
+    ///
+    /// [`BatchingConfig`]: mgpu_types::BatchingConfig
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is outside `1..=255` (the 1 B wire length
+    /// field), per [`SenderBatcher::new`].
+    #[must_use]
+    pub fn with_batch_params(mut self, batch_size: u32, flush_timeout: Duration) -> Self {
+        self.batcher = SenderBatcher::new(batch_size, flush_timeout);
+        self
+    }
+
     /// This endpoint's node id.
     #[must_use]
     pub fn id(&self) -> NodeId {
@@ -205,65 +224,108 @@ impl Endpoint {
         ))
     }
 
+    /// Seals one block for `peer` into the currently open batch: the
+    /// per-block MAC is withheld from the wire and accumulated by the
+    /// batcher. When this block fills the batch, the closing
+    /// [`BatchTrailer`] is returned alongside it.
+    ///
+    /// This is the streaming form of [`Endpoint::seal_batch`]: blocks go
+    /// on the wire as they are produced, the trailer follows when the
+    /// batch closes (or when [`Endpoint::flush_batch`] is called on a
+    /// timeout).
+    pub fn seal_batched_block(
+        &mut self,
+        peer: NodeId,
+        block: &[u8; BLOCK_SIZE],
+    ) -> (WireBlock, Option<BatchTrailer>) {
+        let (batch_id, index) = self.batcher.peek_slot(peer);
+        let counter = self.next_ctr(peer);
+        let nonce = PadSeed::new(self.id.raw(), peer.raw(), counter).to_nonce();
+        let aad = Self::aad(self.id, peer, counter);
+        let (ciphertext, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, block);
+        let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
+        // Functional path: timing is modelled elsewhere, so batches close
+        // on size here and on explicit `flush_batch` calls, never on the
+        // batcher's own clock.
+        let trailer = self
+            .batcher
+            .add_block(Cycle::ZERO, peer, mac)
+            .map(|closed| self.close_batch(peer, &closed));
+        (
+            WireBlock {
+                sender: self.id,
+                receiver: peer,
+                counter,
+                ciphertext,
+                mac: None,
+                batch: Some((batch_id, index)),
+            },
+            trailer,
+        )
+    }
+
+    /// Closes the open batch towards `peer` (timeout flush), returning its
+    /// trailer, or `None` when no batch is open. Other peers' open batches
+    /// are untouched.
+    pub fn flush_batch(&mut self, peer: NodeId) -> Option<BatchTrailer> {
+        self.batcher
+            .flush_dst(peer)
+            .map(|closed| self.close_batch(peer, &closed))
+    }
+
+    /// Registers a closed batch as outstanding and builds its trailer.
+    fn close_batch(&mut self, peer: NodeId, closed: &ClosedBatch) -> BatchTrailer {
+        let mac = self.batched_mac(peer, closed.id, &concat_macs(&closed.macs));
+        self.guard
+            .register_outstanding(peer, closed.id | BATCH_NONCE_BIT, mac);
+        BatchTrailer {
+            sender: self.id,
+            receiver: peer,
+            id: closed.id,
+            len: closed.len(),
+            mac,
+        }
+    }
+
     /// Seals a group of blocks for `peer` as one batch: per-block MACs are
     /// withheld from the wire; the returned trailer carries the single
     /// batched MAC (paper Formula 5).
     ///
     /// # Panics
     ///
-    /// Panics if `blocks` is empty.
+    /// Panics if `blocks` is empty, longer than the batch size (it would
+    /// span several batches — use [`Endpoint::seal_batched_block`]), or if
+    /// a batch towards `peer` is already open.
     pub fn seal_batch(
         &mut self,
         peer: NodeId,
         blocks: &[[u8; BLOCK_SIZE]],
     ) -> (Vec<WireBlock>, BatchTrailer) {
         assert!(!blocks.is_empty(), "batch must contain at least one block");
+        assert!(
+            blocks.len() as u32 <= self.batcher.batch_size(),
+            "{} blocks exceed the batch size {}",
+            blocks.len(),
+            self.batcher.batch_size()
+        );
+        assert_eq!(
+            self.batcher.peek_slot(peer).1,
+            0,
+            "a batch towards {peer} is already open"
+        );
         let mut wires = Vec::with_capacity(blocks.len());
-        let mut closed = None;
-        let now = Cycle::ZERO; // functional path: timing handled elsewhere
+        let mut trailer = None;
         for block in blocks {
-            let counter = self.next_ctr(peer);
-            let nonce = PadSeed::new(self.id.raw(), peer.raw(), counter).to_nonce();
-            let aad = Self::aad(self.id, peer, counter);
-            let (ciphertext, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, block);
-            let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
-            if let Some(done) = self.batcher.add_block(now, peer, mac) {
-                closed = Some(done);
+            let (wire, done) = self.seal_batched_block(peer, block);
+            wires.push(wire);
+            if let Some(done) = done {
+                trailer = Some(done);
             }
-            wires.push(WireBlock {
-                sender: self.id,
-                receiver: peer,
-                counter,
-                ciphertext,
-                mac: None,
-                batch: None, // ids assigned below once the batch closes
-            });
         }
-        let closed = match closed {
-            Some(c) => c,
-            None => self
-                .batcher
-                .flush_all()
-                .into_iter()
-                .find(|b| b.dst == peer)
-                .expect("open batch for peer"),
-        };
-        for (index, wire) in wires.iter_mut().enumerate() {
-            wire.batch = Some((closed.id, index as u32));
-        }
-        let trailer_mac = self.batched_mac(peer, closed.id, &concat_macs(&closed.macs));
-        self.guard
-            .register_outstanding(peer, closed.id | BATCH_NONCE_BIT, trailer_mac);
-        (
-            wires,
-            BatchTrailer {
-                sender: self.id,
-                receiver: peer,
-                id: closed.id,
-                len: closed.len(),
-                mac: trailer_mac,
-            },
-        )
+        let trailer = trailer
+            .or_else(|| self.flush_batch(peer))
+            .expect("open batch for peer");
+        (wires, trailer)
     }
 
     /// Computes the batched MAC over the ordered MAC concatenation, in the
@@ -331,22 +393,33 @@ impl Endpoint {
     /// # Errors
     ///
     /// Returns [`MgpuError::AuthenticationFailed`] if the batched MAC does
-    /// not match, or [`MgpuError::Protocol`] on malformed batches.
+    /// not match, [`MgpuError::ReplayDetected`] for a stale batch id, or
+    /// [`MgpuError::Protocol`] on malformed batches — including a trailer
+    /// whose length field claims fewer blocks than already arrived.
     pub fn accept_trailer(&mut self, trailer: &BatchTrailer) -> Result<Option<Ack>, MgpuError> {
         // Batch ids advance monotonically per stream: a replayed batch
         // (blocks + trailer re-sent wholesale) trips this check. Batch ids
         // get their own freshness domain, separate from block counters.
-        match self.last_batch.get(&trailer.sender) {
-            Some(&last) if trailer.id <= last => {
+        // Freshness is recorded only when the batch *verifies* (in
+        // `finish_batch`) — a tampered trailer must not burn the id it
+        // claims, or the genuine trailer could never complete its batch.
+        if let Some(&last) = self.last_batch.get(&trailer.sender) {
+            if trailer.id <= last {
                 return Err(MgpuError::ReplayDetected {
                     counter: trailer.id,
                 });
             }
-            _ => {
-                self.last_batch.insert(trailer.sender, trailer.id);
-            }
         }
-        if self.storage.pending(trailer.sender, trailer.id) as u32 == trailer.len {
+        let pending = self.storage.pending(trailer.sender, trailer.id) as u32;
+        if pending > trailer.len {
+            // An under-length trailer can never match the stored MACs —
+            // reject it inline instead of parking it forever.
+            return Err(MgpuError::Protocol(format!(
+                "trailer for batch {} from {} claims {} blocks but {pending} already arrived",
+                trailer.id, trailer.sender, trailer.len
+            )));
+        }
+        if pending == trailer.len {
             Ok(Some(self.finish_batch(trailer)?))
         } else {
             self.early_trailers
@@ -374,6 +447,11 @@ impl Endpoint {
                 context: format!("batched MAC mismatch for batch {id} from {sender}"),
             });
         }
+        // Only a verified batch advances the trailer-replay horizon, and it
+        // sweeps out any parked (possibly forged, over-length) trailer
+        // still waiting under this batch id.
+        self.last_batch.insert(sender, id);
+        self.early_trailers.remove(&(sender, id));
         Ok(Ack {
             from: me,
             counter: id | BATCH_NONCE_BIT,
@@ -389,6 +467,23 @@ impl Endpoint {
     /// See [`ReplayGuard::accept_ack`].
     pub fn accept_ack(&mut self, ack: &Ack) -> Result<(), MgpuError> {
         self.guard.accept_ack(ack.from, ack.counter, ack.mac)
+    }
+
+    /// Whether the message/batch sent to `peer` under `counter` (batch ids
+    /// carry the batch-nonce bit) is still awaiting its ACK — the sender's
+    /// window into dropped acknowledgements.
+    #[must_use]
+    pub fn ack_outstanding(&self, peer: NodeId, counter: u64) -> bool {
+        self.guard.is_outstanding(peer, counter)
+    }
+
+    /// Drops the receive-side state parked for batch `id` from `src` —
+    /// stored MsgMACs and any early trailer — freeing the storage for a
+    /// retransmission after a failed batch verification. Returns the
+    /// number of MACs discarded.
+    pub fn discard_batch(&mut self, src: NodeId, id: BatchId) -> usize {
+        self.early_trailers.remove(&(src, id));
+        self.storage.discard(src, id)
     }
 
     /// Messages/batches still awaiting acknowledgement.
@@ -577,6 +672,152 @@ mod tests {
         }
         b.accept_trailer(&trailer).unwrap();
         assert_eq!(b.mac_storage_peak(), 16);
+    }
+
+    fn small_batch_pair() -> (Endpoint, Endpoint) {
+        let kx = KeyExchange::boot([42; 16]);
+        (
+            Endpoint::new(NodeId::gpu(1), 4, &kx).with_batch_params(4, Duration::cycles(100)),
+            Endpoint::new(NodeId::gpu(2), 4, &kx),
+        )
+    }
+
+    #[test]
+    fn streaming_batch_emits_trailer_when_full() {
+        let (mut a, mut b) = small_batch_pair();
+        let mut trailers = Vec::new();
+        let mut acks = Vec::new();
+        for i in 0..8u8 {
+            let (wire, trailer) = a.seal_batched_block(b.id(), &[i; 64]);
+            let (plain, _) = b.open_batched_block(&wire).unwrap();
+            assert_eq!(plain, [i; 64]);
+            if let Some(t) = trailer {
+                // Batch closes exactly on the 4th and 8th block.
+                assert_eq!(i % 4, 3);
+                assert_eq!(t.len, 4);
+                acks.push(b.accept_trailer(&t).unwrap().expect("batch complete"));
+                trailers.push(t);
+            }
+        }
+        assert_eq!(trailers.len(), 2);
+        assert_eq!(trailers[0].id + 1, trailers[1].id);
+        for ack in &acks {
+            a.accept_ack(ack).unwrap();
+        }
+        assert_eq!(a.outstanding_acks(), 0);
+    }
+
+    #[test]
+    fn flush_batch_closes_partial_batch() {
+        let (mut a, mut b) = small_batch_pair();
+        assert!(a.flush_batch(b.id()).is_none(), "nothing open yet");
+        let (wire, none) = a.seal_batched_block(b.id(), &[9; 64]);
+        assert!(none.is_none());
+        let trailer = a.flush_batch(b.id()).expect("partial batch flushed");
+        assert_eq!(trailer.len, 1);
+        assert!(a.ack_outstanding(b.id(), trailer.id | BATCH_NONCE_BIT));
+        b.open_batched_block(&wire).unwrap();
+        let ack = b.accept_trailer(&trailer).unwrap().expect("verified");
+        a.accept_ack(&ack).unwrap();
+        assert!(!a.ack_outstanding(b.id(), trailer.id | BATCH_NONCE_BIT));
+    }
+
+    #[test]
+    fn under_length_trailer_is_rejected_inline() {
+        let (mut a, mut b) = small_batch_pair();
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let (wires, trailer) = a.seal_batch(b.id(), &blocks);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        let forged = BatchTrailer {
+            len: trailer.len - 1,
+            ..trailer
+        };
+        // Fewer blocks claimed than arrived: impossible, flagged inline
+        // rather than parked forever.
+        assert!(matches!(
+            b.accept_trailer(&forged),
+            Err(MgpuError::Protocol(_))
+        ));
+        // The genuine trailer still completes the batch.
+        let ack = b.accept_trailer(&trailer).unwrap().expect("verified");
+        a.accept_ack(&ack).unwrap();
+    }
+
+    #[test]
+    fn over_length_trailer_parks_then_genuine_completes() {
+        let (mut a, mut b) = small_batch_pair();
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let (wires, trailer) = a.seal_batch(b.id(), &blocks);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        let forged = BatchTrailer {
+            len: trailer.len + 1,
+            ..trailer
+        };
+        // Claims a block that will never come: parks awaiting it.
+        assert!(b.accept_trailer(&forged).unwrap().is_none());
+        // The genuine trailer verifies and sweeps the forged parked one.
+        let ack = b.accept_trailer(&trailer).unwrap().expect("verified");
+        a.accept_ack(&ack).unwrap();
+    }
+
+    #[test]
+    fn tampered_trailer_does_not_burn_the_batch_id() {
+        let (mut a, mut b) = small_batch_pair();
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let (wires, trailer) = a.seal_batch(b.id(), &blocks);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        let mut forged = trailer;
+        forged.mac[3] ^= 0x10;
+        assert!(matches!(
+            b.accept_trailer(&forged),
+            Err(MgpuError::AuthenticationFailed { .. })
+        ));
+        // Stored MACs and the batch id both survive the forgery: the
+        // genuine trailer still verifies.
+        let ack = b.accept_trailer(&trailer).unwrap().expect("verified");
+        a.accept_ack(&ack).unwrap();
+        // A *replay* of the now-verified trailer is still rejected.
+        assert!(matches!(
+            b.accept_trailer(&trailer),
+            Err(MgpuError::ReplayDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn discard_batch_enables_retransmission_after_tamper() {
+        let (mut a, mut b) = small_batch_pair();
+        let blocks: Vec<[u8; 64]> = (0..4u8).map(|i| [i; 64]).collect();
+        let (wires, trailer) = a.seal_batch(b.id(), &blocks);
+        let mut tampered = wires.clone();
+        tampered[1].ciphertext[7] ^= 2;
+        for wire in &tampered {
+            b.open_batched_block(wire).unwrap();
+        }
+        assert!(matches!(
+            b.accept_trailer(&trailer),
+            Err(MgpuError::AuthenticationFailed { .. })
+        ));
+        // Recovery: drop the poisoned batch state, retransmit clean.
+        assert_eq!(b.discard_batch(a.id(), trailer.id), 4);
+        for wire in &wires {
+            b.open_batched_block(wire).unwrap();
+        }
+        let ack = b.accept_trailer(&trailer).unwrap().expect("verified");
+        a.accept_ack(&ack).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the batch size")]
+    fn seal_batch_larger_than_batch_size_panics() {
+        let (mut a, b) = small_batch_pair();
+        let blocks: Vec<[u8; 64]> = (0..5u8).map(|i| [i; 64]).collect();
+        let _ = a.seal_batch(b.id(), &blocks);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct ReplayGuard {
     last_accepted: BTreeMap<NodeId, u64>,
     peak_outstanding: usize,
     replays_detected: u64,
+    ack_mismatches: u64,
 }
 
 impl ReplayGuard {
@@ -71,6 +72,7 @@ impl ReplayGuard {
             Some(expected) if expected != mac => {
                 // Put it back: the real ACK may still arrive.
                 self.outstanding.insert((dst, ctr), expected);
+                self.ack_mismatches += 1;
                 Err(MgpuError::AuthenticationFailed {
                     context: format!("ACK MAC mismatch from {dst} for counter {ctr}"),
                 })
@@ -114,10 +116,24 @@ impl ReplayGuard {
         self.peak_outstanding
     }
 
+    /// Whether a message to `dst` with counter `ctr` is still awaiting its
+    /// ACK — lets a sender observe that an ACK was dropped on the wire.
+    #[must_use]
+    pub fn is_outstanding(&self, dst: NodeId, ctr: u64) -> bool {
+        self.outstanding.contains_key(&(dst, ctr))
+    }
+
     /// Replays detected so far.
     #[must_use]
     pub fn replays_detected(&self) -> u64 {
         self.replays_detected
+    }
+
+    /// ACKs rejected for echoing a MAC that does not match the outstanding
+    /// entry (return-path tampering detections).
+    #[must_use]
+    pub fn ack_mismatches(&self) -> u64 {
+        self.ack_mismatches
     }
 }
 
@@ -144,7 +160,10 @@ mod tests {
         assert!(matches!(err, MgpuError::AuthenticationFailed { .. }));
         // The entry survives for the genuine ACK.
         assert_eq!(g.outstanding(), 1);
+        assert_eq!(g.ack_mismatches(), 1);
+        assert!(g.is_outstanding(dst, 5));
         g.accept_ack(dst, 5, [1; 8]).unwrap();
+        assert!(!g.is_outstanding(dst, 5));
     }
 
     #[test]

@@ -132,6 +132,9 @@ pub struct Link {
     /// Total bytes that occupied the transmitter, for utilization
     /// reporting.
     busy_bytes: u64,
+    /// Wire crossings on this link that an adversary tampered with
+    /// (replayed, flipped, forged or dropped messages).
+    tampered_messages: u64,
 }
 
 impl Link {
@@ -150,6 +153,7 @@ impl Link {
             next_free_bt: 0,
             totals: TrafficTotals::default(),
             busy_bytes: 0,
+            tampered_messages: 0,
         }
     }
 
@@ -232,6 +236,19 @@ impl Link {
     #[must_use]
     pub fn bandwidth(&self) -> u32 {
         self.bytes_per_cycle
+    }
+
+    /// Records `n` adversary-tampered crossings on this link. Tampering
+    /// does not change the timing model (the attacker rewrites bytes in
+    /// flight); the counter feeds security reporting.
+    pub fn note_tampered(&mut self, n: u64) {
+        self.tampered_messages += n;
+    }
+
+    /// Wire crossings on this link the adversary tampered with.
+    #[must_use]
+    pub fn tampered_messages(&self) -> u64 {
+        self.tampered_messages
     }
 }
 

@@ -201,6 +201,28 @@ impl Topology {
         totals
     }
 
+    /// Records `n` adversary-tampered crossings against `src`'s egress
+    /// port. All of a node's injected faults are charged to its egress
+    /// link regardless of which message leg (block, trailer or returning
+    /// ACK) was hit — a deliberate simplification that keeps per-node
+    /// attribution without per-leg bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is outside the system.
+    pub fn note_tampered_egress(&mut self, src: NodeId, n: u64) {
+        self.egress
+            .get_mut(&src)
+            .expect("src within system")
+            .note_tampered(n);
+    }
+
+    /// Total adversary-tampered crossings across all egress ports.
+    #[must_use]
+    pub fn tampered_total(&self) -> u64 {
+        self.egress.values().map(Link::tampered_messages).sum()
+    }
+
     /// Iterates over `(node, egress port)` entries in a deterministic
     /// order — the per-node data-traffic breakdown.
     pub fn iter_egress(&self) -> impl Iterator<Item = (NodeId, &Link)> {
@@ -332,6 +354,17 @@ mod tests {
         let totals = topo.traffic_totals();
         assert_eq!(totals.get(TrafficClass::Data).as_u64(), 80);
         assert_eq!(totals.get(TrafficClass::Ack).as_u64(), 16);
+    }
+
+    #[test]
+    fn tampered_crossings_accumulate_per_egress() {
+        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        assert_eq!(topo.tampered_total(), 0);
+        topo.note_tampered_egress(NodeId::gpu(1), 2);
+        topo.note_tampered_egress(NodeId::gpu(3), 1);
+        assert_eq!(topo.egress(NodeId::gpu(1)).tampered_messages(), 2);
+        assert_eq!(topo.egress(NodeId::gpu(2)).tampered_messages(), 0);
+        assert_eq!(topo.tampered_total(), 3);
     }
 
     #[test]

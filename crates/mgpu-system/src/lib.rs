@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod metrics;
 pub mod node;
 pub mod runner;
 pub mod simulation;
 
+pub use harness::WireHarness;
 pub use metrics::RunReport;
 pub use runner::{compare_schemes, normalized_time, SchemeResult};
 pub use simulation::Simulation;

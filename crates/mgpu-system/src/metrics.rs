@@ -1,5 +1,6 @@
 //! Run metrics collected by the simulation.
 
+use mgpu_secure::adversary::SecurityEventLog;
 use mgpu_secure::OtpStats;
 use mgpu_sim::link::TrafficTotals;
 use mgpu_types::{Duration, OtpSchemeKind};
@@ -36,6 +37,13 @@ pub struct RunReport {
     /// Issue time of the last request (workload span under closed-loop
     /// pacing).
     pub last_issue: Duration,
+    /// Wire crossings tampered with by the adversary harness (0 when the
+    /// adversary is disabled).
+    pub tampered_crossings: u64,
+    /// Security-event ledger from the adversary harness: injections,
+    /// detections, misses, false positives, per-pair counts and
+    /// time-to-detection. Empty when the adversary is disabled.
+    pub security: SecurityEventLog,
 }
 
 impl RunReport {
@@ -111,6 +119,8 @@ mod tests {
             mean_batch_occupancy: 0.0,
             sum_request_latency: Duration::cycles(0),
             last_issue: Duration::cycles(0),
+            tampered_crossings: 0,
+            security: SecurityEventLog::default(),
         }
     }
 

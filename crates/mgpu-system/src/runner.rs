@@ -3,7 +3,7 @@
 
 use crate::metrics::RunReport;
 use crate::simulation::Simulation;
-use mgpu_types::{OtpSchemeKind, SystemConfig};
+use mgpu_types::{AdversaryConfig, OtpSchemeKind, SecurityConfig, SystemConfig};
 use mgpu_workloads::Benchmark;
 
 /// One scheme's results on one benchmark, normalized to the unsecure
@@ -64,8 +64,28 @@ pub fn run_with_baseline(
     (secure, baseline)
 }
 
+/// The parts of a configuration that determine the unsecure baseline:
+/// everything except the security layer and the adversary schedule.
+fn baseline_view(config: &SystemConfig) -> SystemConfig {
+    let mut c = config.clone();
+    c.security = SecurityConfig::default();
+    c.adversary = AdversaryConfig::default();
+    c
+}
+
 /// Runs several labeled configurations on one benchmark against a single
 /// shared unsecure baseline.
+///
+/// All configurations must agree on every baseline-relevant field
+/// (topology, bandwidths, latencies — everything outside `security` and
+/// `adversary`): the shared baseline is built from the first entry, and a
+/// heterogeneous list would silently normalize later entries against a
+/// mismatched baseline.
+///
+/// # Panics
+///
+/// Panics if a configuration disagrees with the first on a
+/// baseline-relevant field, naming the offending label.
 #[must_use]
 pub fn compare_schemes(
     benchmark: Benchmark,
@@ -73,6 +93,16 @@ pub fn compare_schemes(
     per_gpu: usize,
     seed: u64,
 ) -> Vec<SchemeResult> {
+    if let Some((first_label, first)) = configs.first() {
+        let reference = baseline_view(first);
+        for (label, cfg) in configs {
+            assert!(
+                baseline_view(cfg) == reference,
+                "config {label:?} differs from {first_label:?} on a baseline-relevant \
+                 field; compare_schemes shares one unsecure baseline across the list"
+            );
+        }
+    }
     let baseline = {
         let mut base_cfg = configs
             .first()
@@ -191,5 +221,40 @@ mod tests {
     #[test]
     fn empty_compare_is_empty() {
         assert!(compare_schemes(Benchmark::Atax, &[], 10, 1).is_empty());
+    }
+
+    #[test]
+    fn compare_accepts_heterogeneous_security_settings() {
+        // Different OTP multipliers / schemes share the same baseline —
+        // only non-security fields must agree.
+        let base = SystemConfig::paper_4gpu();
+        let results = compare_schemes(
+            Benchmark::Atax,
+            &[
+                ("private-4x".into(), configs::private(&base, 4)),
+                ("private-16x".into(), configs::private(&base, 16)),
+                ("batching-4x".into(), configs::batching(&base, 4)),
+            ],
+            100,
+            1,
+        );
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline-relevant")]
+    fn compare_rejects_mismatched_topology() {
+        let base = SystemConfig::paper_4gpu();
+        let mut bigger = base.clone();
+        bigger.gpu_count = 8;
+        let _ = compare_schemes(
+            Benchmark::Atax,
+            &[
+                ("4gpu".into(), configs::private(&base, 4)),
+                ("8gpu".into(), configs::private(&bigger, 4)),
+            ],
+            50,
+            1,
+        );
     }
 }

@@ -20,6 +20,7 @@
 //! ahead of their data. Execution time is the cycle at which the last
 //! request's data becomes usable.
 
+use crate::harness::WireHarness;
 use crate::metrics::RunReport;
 use crate::node::SecureNic;
 use mgpu_sim::dram::Hbm;
@@ -179,6 +180,10 @@ impl Simulation {
         } else {
             BTreeMap::new()
         };
+        // Adversarial runs thread every protected crossing through the
+        // functional wire harness, which injects seeded faults and checks
+        // that a defense catches each one.
+        let mut harness = (self.secure() && cfg.adversary.enabled).then(|| WireHarness::new(cfg));
 
         // Closed-loop pacing state: the generated timestamps define
         // compute gaps between a GPU's requests.
@@ -367,6 +372,12 @@ impl Simulation {
                     let usable = if self.secure() {
                         let requester = pending[idx].requester;
                         let owner = pending[idx].owner;
+                        if let Some(h) = harness.as_mut() {
+                            let tampered = h.on_block(now, owner, requester);
+                            if tampered > 0 {
+                                topo.note_tampered_egress(owner, tampered);
+                            }
+                        }
                         nics.get_mut(&requester)
                             .expect("requester nic")
                             .receive(now, owner, counter)
@@ -427,6 +438,12 @@ impl Simulation {
                     };
                     let flushed = nic.flush_due(now);
                     for (dst, mac_bytes) in flushed {
+                        if let Some(h) = harness.as_mut() {
+                            let tampered = h.on_flush(now, owner, dst);
+                            if tampered > 0 {
+                                topo.note_tampered_egress(owner, tampered);
+                            }
+                        }
                         // A flushed batch closes: its trailer occupies a
                         // replay-table entry until the batch ACK returns.
                         *ack_free.get_mut(&owner).expect("node exists") -= 1;
@@ -470,6 +487,12 @@ impl Simulation {
             for owner in owners {
                 let drained = nics.get_mut(&owner).expect("nic").flush_all();
                 for (dst, mac_bytes) in drained {
+                    if let Some(h) = harness.as_mut() {
+                        let tampered = h.on_flush(completion, owner, dst);
+                        if tampered > 0 {
+                            topo.note_tampered_egress(owner, tampered);
+                        }
+                    }
                     topo.transmit_ctrl(
                         PairId::new(owner, dst),
                         completion,
@@ -485,6 +508,14 @@ impl Simulation {
                         acks_sent += 1;
                     }
                 }
+            }
+        }
+
+        // Any batches still open in the harness (its functional batcher
+        // may lag the NIC's timing batcher by a partial batch) flush now.
+        if let Some(h) = harness.as_mut() {
+            for (src, tampered) in h.finish(completion) {
+                topo.note_tampered_egress(src, tampered);
             }
         }
 
@@ -520,6 +551,8 @@ impl Simulation {
             },
             sum_request_latency: sum_latency,
             last_issue: last_issue.saturating_since(Cycle::ZERO),
+            tampered_crossings: topo.tampered_total(),
+            security: harness.map(WireHarness::into_log).unwrap_or_default(),
         }
     }
 }
@@ -654,6 +687,57 @@ mod tests {
         // request ser 1 + latency 100 + dram 200+1 + egress 2+100 + ingress 2.
         let expected = 1 + 100 + 201 + 2 + 100 + 2;
         assert_eq!(r.total_cycles.as_u64(), expected);
+    }
+
+    #[test]
+    fn fault_free_run_logs_no_security_events() {
+        let r = run(OtpSchemeKind::Private, Benchmark::Atax);
+        assert!(r.security.is_clean());
+        assert_eq!(r.tampered_crossings, 0);
+    }
+
+    #[test]
+    fn adversarial_run_detects_every_injection() {
+        use mgpu_types::AdversaryConfig;
+        for batching in [false, true] {
+            let mut cfg = config(OtpSchemeKind::Dynamic);
+            cfg.security.batching.enabled = batching;
+            cfg.adversary = AdversaryConfig::active(100);
+            let r = Simulation::new(cfg, Benchmark::MatrixTranspose, 42).run_for_requests(300);
+            let log = &r.security;
+            assert!(log.total_injected() > 0, "batching={batching}");
+            assert_eq!(log.total_missed(), 0, "batching={batching}: {log:?}");
+            assert_eq!(log.false_positives(), 0, "batching={batching}: {log:?}");
+            assert!((log.detection_rate() - 1.0).abs() < f64::EPSILON);
+            assert!(r.tampered_crossings > 0);
+            assert!(!log.pair_detections().is_empty());
+        }
+    }
+
+    #[test]
+    fn adversarial_runs_are_deterministic() {
+        use mgpu_types::AdversaryConfig;
+        let mut cfg = config(OtpSchemeKind::Dynamic);
+        cfg.security.batching.enabled = true;
+        cfg.adversary = AdversaryConfig::active(150);
+        let a = Simulation::new(cfg.clone(), Benchmark::Spmv, 42).run_for_requests(250);
+        let b = Simulation::new(cfg, Benchmark::Spmv, 42).run_for_requests(250);
+        assert_eq!(a.security, b.security);
+        assert_eq!(a.tampered_crossings, b.tampered_crossings);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn adversary_does_not_change_timing() {
+        use mgpu_types::AdversaryConfig;
+        let clean = run(OtpSchemeKind::Private, Benchmark::Spmv);
+        let mut cfg = config(OtpSchemeKind::Private);
+        cfg.adversary = AdversaryConfig::active(200);
+        let attacked = Simulation::new(cfg, Benchmark::Spmv, 42).run_for_requests(400);
+        // The attacker rewrites bytes in flight: detection is a security
+        // outcome, not a performance one.
+        assert_eq!(clean.total_cycles, attacked.total_cycles);
+        assert_eq!(clean.traffic.total(), attacked.traffic.total());
     }
 
     #[test]

@@ -150,6 +150,65 @@ impl BatchingConfig {
     }
 }
 
+/// Configuration of the wire-level adversary used by the fault-injection
+/// harness (threat model of paper §II-C: an attacker with physical access
+/// to the interconnect who can replay, tamper with, reorder or drop
+/// messages, but cannot break the cryptography).
+///
+/// The adversary is fully deterministic: the same `seed` and
+/// `rate_permille` produce the same injection schedule, so detection
+/// counts are reproducible across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryConfig {
+    /// Whether the fault-injection harness is active. When enabled on a
+    /// secure run, every simulated block also crosses a functional
+    /// AES-GCM channel where the adversary may strike.
+    pub enabled: bool,
+    /// Seed of the adversary's deterministic injection schedule.
+    pub seed: u64,
+    /// Injection probability per opportunity, in permille (0..=1000).
+    /// `0` means the adversary is present but never strikes — the
+    /// false-positive control run.
+    pub rate_permille: u32,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            enabled: false,
+            seed: 0xADF0_0D5E,
+            rate_permille: 20,
+        }
+    }
+}
+
+impl AdversaryConfig {
+    /// An enabled adversary with the given injection rate (per mille).
+    #[must_use]
+    pub fn active(rate_permille: u32) -> Self {
+        AdversaryConfig {
+            enabled: true,
+            rate_permille,
+            ..AdversaryConfig::default()
+        }
+    }
+
+    /// Validates the injection rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `rate_permille` exceeds 1000.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rate_permille > 1000 {
+            return Err(ConfigError::new(format!(
+                "rate_permille is a probability in 0..=1000, got {}",
+                self.rate_permille
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Security-layer configuration shared by all schemes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SecurityConfig {
@@ -222,6 +281,9 @@ pub struct SystemConfig {
     pub max_outstanding: u32,
     /// Security-layer configuration.
     pub security: SecurityConfig,
+    /// Wire-level adversary (fault-injection harness) configuration.
+    /// Disabled by default; has no effect on unsecure runs.
+    pub adversary: AdversaryConfig,
 }
 
 impl Default for SystemConfig {
@@ -243,6 +305,7 @@ impl SystemConfig {
             dram_latency: Duration::cycles(200),
             max_outstanding: 128,
             security: SecurityConfig::default(),
+            adversary: AdversaryConfig::default(),
         }
     }
 
@@ -315,6 +378,7 @@ impl SystemConfig {
         }
         self.security.dynamic.validate()?;
         self.security.batching.validate()?;
+        self.adversary.validate()?;
         Ok(())
     }
 }
@@ -371,6 +435,28 @@ mod tests {
         let mut cfg = SystemConfig::paper_4gpu();
         cfg.security.batching.batch_size = 300;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.adversary.rate_permille = 1001;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn adversary_defaults_and_constructor() {
+        let cfg = SystemConfig::paper_4gpu();
+        assert!(!cfg.adversary.enabled);
+        cfg.adversary.validate().unwrap();
+
+        let adv = AdversaryConfig::active(100);
+        assert!(adv.enabled);
+        assert_eq!(adv.rate_permille, 100);
+        adv.validate().unwrap();
+        AdversaryConfig {
+            rate_permille: 1000,
+            ..adv
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod error;
 pub mod ids;
 pub mod units;
 
-pub use config::{BatchingConfig, DynamicConfig, OtpSchemeKind, SecurityConfig, SystemConfig};
+pub use config::{
+    AdversaryConfig, BatchingConfig, DynamicConfig, OtpSchemeKind, SecurityConfig, SystemConfig,
+};
 pub use error::{ConfigError, MgpuError};
 pub use ids::{Direction, NodeId, PairId};
 pub use units::{ByteSize, Cycle, Duration};
