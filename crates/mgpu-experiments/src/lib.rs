@@ -21,6 +21,7 @@ pub mod common;
 pub mod evaluation;
 pub mod motivation;
 pub mod report;
+pub mod topology;
 
 pub use common::Mode;
 pub use report::Table;
@@ -152,6 +153,16 @@ pub fn registry() -> Vec<Experiment> {
             id: "attack_campaign",
             title: "Adversary campaign: injection-rate sweep vs detection",
             run: attack::attack_campaign,
+        },
+        Experiment {
+            id: "topology_scaling",
+            title: "Fabric shapes: per-hop metadata amplification sweep",
+            run: topology::topology_scaling,
+        },
+        Experiment {
+            id: "ring8_smoke",
+            title: "8-GPU ring compare_schemes smoke",
+            run: topology::ring8_smoke,
         },
     ]
 }

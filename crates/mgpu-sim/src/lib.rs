@@ -4,7 +4,8 @@
 //! crate provides the equivalent substrate for this reproduction: a
 //! deterministic discrete-event engine plus the structural components the
 //! communication study needs — bandwidth-serialized interconnect links
-//! ([`link`]), the CPU-hub + all-to-all-GPU topology ([`topology`]),
+//! ([`link`]), static route computation over configurable fabric shapes
+//! ([`routing`]), the CPU-hub + routed-GPU-fabric topology ([`topology`]),
 //! set-associative write-back caches ([`cache`]), a fixed-latency HBM model
 //! ([`dram`]), and an access-counter page-migration policy ([`page`]).
 //!
@@ -34,10 +35,12 @@ pub mod dram;
 pub mod events;
 pub mod link;
 pub mod page;
+pub mod routing;
 pub mod stats;
 pub mod topology;
 
 pub use cache::{Cache, CacheConfig};
 pub use events::EventQueue;
 pub use link::Link;
+pub use routing::{RoutingTable, Waypoint};
 pub use topology::Topology;

@@ -1,4 +1,4 @@
-//! System topology: CPU hub plus switch-fabric GPU interconnect.
+//! System topology: CPU hub plus a routed GPU interconnect fabric.
 //!
 //! The paper's target architecture (Fig. 2, Table III) connects every GPU
 //! to the CPU over PCIe v4 (32 GB/s) and GPUs to each other over an
@@ -14,12 +14,25 @@
 //! request/response VC split real interconnects use for protocol deadlock
 //! freedom, and keeping tiny control messages from head-of-line blocking
 //! behind bulk data in the FIFO occupancy model.
+//!
+//! The fabric shape is configurable ([`TopologyKind`]): fully connected
+//! (the paper's evaluated system, every GPU pair one direct hop), a ring
+//! (messages forward through intermediate GPUs), or a switch hierarchy
+//! (messages cross leaf/root switch ports). Multi-hop shapes charge every
+//! byte — payload *and* security metadata — once per hop crossed, so the
+//! per-hop amplification of the metadata overhead is directly measurable
+//! in [`Topology::traffic_totals`]. Routes come from a static
+//! [`RoutingTable`]; intermediate hops only forward ciphertext, so the
+//! fabric never needs keys (encryption, MACs and replay protection stay
+//! end-to-end between the communicating pair).
 
 use crate::link::{Link, TrafficClass, TrafficTotals};
+use crate::routing::{RoutingTable, Waypoint};
 use mgpu_types::{ByteSize, Cycle, Duration, NodeId, PairId, SystemConfig};
 use std::collections::HashMap;
 
-/// The full interconnect: per-node data ports plus per-pair control VCs.
+/// The full interconnect: per-waypoint data ports plus per-pair control
+/// VCs, routed over the configured fabric shape.
 ///
 /// # Examples
 ///
@@ -36,13 +49,16 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct Topology {
-    /// Outgoing data port per node (accounts traffic totals).
-    egress: HashMap<NodeId, Link>,
-    /// Incoming data port per node (occupancy only; zero latency so the
-    /// propagation delay is charged once, at egress).
-    ingress: HashMap<NodeId, Link>,
-    /// Small-message control VC per directed pair.
+    /// Outgoing data port per waypoint (accounts traffic totals; every
+    /// hop's bytes are charged to the port they leave through).
+    egress: HashMap<Waypoint, Link>,
+    /// Incoming data port per waypoint (occupancy only; zero latency so
+    /// each hop's propagation delay is charged once, at its egress).
+    ingress: HashMap<Waypoint, Link>,
+    /// Small-message control VC per directed pair. Multi-hop pairs get a
+    /// hop-scaled propagation latency and hop-scaled byte accounting.
     ctrl: HashMap<PairId, Link>,
+    routes: RoutingTable,
     gpu_count: u16,
 }
 
@@ -50,6 +66,7 @@ impl Topology {
     /// Builds the topology for `config`.
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
+        let routes = RoutingTable::new(config.topology, config.gpu_count);
         let mut egress = HashMap::new();
         let mut ingress = HashMap::new();
         let mut ctrl = HashMap::new();
@@ -59,8 +76,9 @@ impl Topology {
             } else {
                 config.gpu_link_bytes_per_cycle
             };
-            egress.insert(node, Link::new(port_bw, config.link_latency));
-            ingress.insert(node, Link::new(port_bw, Duration::ZERO));
+            let w = Waypoint::Node(node);
+            egress.insert(w, Link::new(port_bw, config.link_latency));
+            ingress.insert(w, Link::new(port_bw, Duration::ZERO));
             for dst in node.peers(config.gpu_count) {
                 let pair = PairId::new(node, dst);
                 let bw = if pair.involves_cpu() {
@@ -68,15 +86,46 @@ impl Topology {
                 } else {
                     config.gpu_link_bytes_per_cycle
                 };
-                ctrl.insert(pair, Link::new(bw, config.link_latency));
+                let hops = routes.hops(pair) as u64;
+                let latency = Duration::cycles(config.link_latency.as_u64() * hops);
+                ctrl.insert(pair, Link::new(bw, latency));
             }
+        }
+        // Switch ports run at fabric (NVLink) speed.
+        for s in 0..routes.switch_count() {
+            let w = Waypoint::Switch(s);
+            egress.insert(
+                w,
+                Link::new(config.gpu_link_bytes_per_cycle, config.link_latency),
+            );
+            ingress.insert(
+                w,
+                Link::new(config.gpu_link_bytes_per_cycle, Duration::ZERO),
+            );
         }
         Topology {
             egress,
             ingress,
             ctrl,
+            routes,
             gpu_count: config.gpu_count,
         }
+    }
+
+    /// The static routing table of this fabric.
+    #[must_use]
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// Links a message from `pair.src` to `pair.dst` crosses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` references a node outside the system.
+    #[must_use]
+    pub fn hops(&self, pair: PairId) -> usize {
+        self.routes.hops(pair)
     }
 
     /// The egress data port of `node`.
@@ -86,7 +135,9 @@ impl Topology {
     /// Panics if `node` is outside the system.
     #[must_use]
     pub fn egress(&self, node: NodeId) -> &Link {
-        self.egress.get(&node).expect("node within system")
+        self.egress
+            .get(&Waypoint::Node(node))
+            .expect("node within system")
     }
 
     /// The ingress data port of `node`.
@@ -96,7 +147,21 @@ impl Topology {
     /// Panics if `node` is outside the system.
     #[must_use]
     pub fn ingress(&self, node: NodeId) -> &Link {
-        self.ingress.get(&node).expect("node within system")
+        self.ingress
+            .get(&Waypoint::Node(node))
+            .expect("node within system")
+    }
+
+    /// The egress port of switch `s` (switch fabrics only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric has no switch `s`.
+    #[must_use]
+    pub fn switch_egress(&self, s: u16) -> &Link {
+        self.egress
+            .get(&Waypoint::Switch(s))
+            .expect("switch within fabric")
     }
 
     /// The control VC for `pair`.
@@ -109,32 +174,79 @@ impl Topology {
         self.ctrl.get(&pair).expect("pair within system")
     }
 
-    /// Transmits a multi-part data message from `pair.src` to `pair.dst`:
-    /// serializes through the source's egress port (propagation latency
-    /// charged there), then through the destination's ingress port.
-    /// Returns when the last byte is received.
+    /// Books a multi-part message onto the egress port of waypoint `hop`
+    /// on `pair`'s route (0 = the source node). Bytes are accounted to
+    /// that port — per-hop accounting is what makes shared-link metadata
+    /// amplification measurable. Returns when the last byte reaches the
+    /// next waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is outside the system or `hop` is past the last
+    /// link of the route.
+    pub fn depart(
+        &mut self,
+        pair: PairId,
+        hop: usize,
+        now: Cycle,
+        parts: &[(ByteSize, TrafficClass)],
+    ) -> Cycle {
+        assert!(hop < self.routes.hops(pair), "hop within route");
+        let w = self.routes.route(pair)[hop];
+        self.egress
+            .get_mut(&w)
+            .expect("waypoint within fabric")
+            .transmit_parts(now, parts)
+    }
+
+    /// Occupies the ingress port of waypoint `hop` on `pair`'s route
+    /// (1 = first waypoint after the source; `hops` = the destination).
+    /// No byte accounting: the bytes were counted at the egress port they
+    /// left. Returns when the last byte is through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is outside the system or `hop` is 0 or past the
+    /// destination.
+    pub fn arrive(&mut self, pair: PairId, hop: usize, now: Cycle, bytes: ByteSize) -> Cycle {
+        assert!(
+            hop >= 1 && hop <= self.routes.hops(pair),
+            "hop within route"
+        );
+        let w = self.routes.route(pair)[hop];
+        self.ingress
+            .get_mut(&w)
+            .expect("waypoint within fabric")
+            .occupy(now, bytes)
+    }
+
+    /// Transmits a multi-part data message end to end: serializes through
+    /// every hop of the route (store-and-forward), occupying each
+    /// waypoint's ingress and egress ports in turn. Returns when the last
+    /// byte is received at the destination.
     pub fn transmit(
         &mut self,
         pair: PairId,
         now: Cycle,
         parts: &[(ByteSize, TrafficClass)],
     ) -> Cycle {
-        let at_ingress = self
-            .egress
-            .get_mut(&pair.src)
-            .expect("src within system")
-            .transmit_parts(now, parts);
         let total: ByteSize = parts.iter().map(|(b, _)| *b).sum();
-        self.ingress
-            .get_mut(&pair.dst)
-            .expect("dst within system")
-            .occupy(at_ingress, total)
+        let hops = self.routes.hops(pair);
+        let mut t = self.depart(pair, 0, now, parts);
+        for hop in 1..=hops {
+            t = self.arrive(pair, hop, t, total);
+            if hop < hops {
+                t = self.depart(pair, hop, t, parts);
+            }
+        }
+        t
     }
 
-    /// Books only the egress half of a data transmission; returns when the
-    /// last byte arrives at the destination's ingress port. Use together
-    /// with [`Topology::ingress_occupy`] when the ingress booking should
-    /// happen at arrival time (event-driven callers).
+    /// Books only the first egress leg of a data transmission from `src`;
+    /// returns when the last byte arrives at the next waypoint. Use
+    /// together with [`Topology::ingress_occupy`] when the ingress booking
+    /// should happen at arrival time (event-driven callers). Multi-hop
+    /// callers should prefer [`Topology::depart`]/[`Topology::arrive`].
     pub fn transmit_egress(
         &mut self,
         src: NodeId,
@@ -142,7 +254,7 @@ impl Topology {
         parts: &[(ByteSize, TrafficClass)],
     ) -> Cycle {
         self.egress
-            .get_mut(&src)
+            .get_mut(&Waypoint::Node(src))
             .expect("src within system")
             .transmit_parts(now, parts)
     }
@@ -151,31 +263,41 @@ impl Topology {
     /// last byte is through.
     pub fn ingress_occupy(&mut self, dst: NodeId, now: Cycle, bytes: ByteSize) -> Cycle {
         self.ingress
-            .get_mut(&dst)
+            .get_mut(&Waypoint::Node(dst))
             .expect("dst within system")
             .occupy(now, bytes)
     }
 
     /// Transmits a message over the pair's control VC (requests, trailing
-    /// MACs).
+    /// MACs). The VC's propagation latency covers the whole route; on
+    /// multi-hop pairs the bytes are additionally charged once per extra
+    /// hop so control metadata shows the same per-hop amplification as
+    /// data.
     pub fn transmit_ctrl(
         &mut self,
         pair: PairId,
         now: Cycle,
         parts: &[(ByteSize, TrafficClass)],
     ) -> Cycle {
-        self.ctrl
-            .get_mut(&pair)
-            .expect("pair within system")
-            .transmit_parts(now, parts)
+        let hops = self.routes.hops(pair) as u64;
+        let link = self.ctrl.get_mut(&pair).expect("pair within system");
+        let arrival = link.transmit_parts(now, parts);
+        for &(bytes, class) in parts {
+            if hops > 1 {
+                link.charge_background(bytes * (hops - 1), class);
+            }
+        }
+        arrival
     }
 
-    /// Charges background (non-queueing) traffic on a pair's control VC.
+    /// Charges background (non-queueing) traffic on a pair's control VC,
+    /// once per hop of the pair's route.
     pub fn charge_background(&mut self, pair: PairId, bytes: ByteSize, class: TrafficClass) {
+        let hops = self.routes.hops(pair) as u64;
         self.ctrl
             .get_mut(&pair)
             .expect("pair within system")
-            .charge_background(bytes, class);
+            .charge_background(bytes * hops, class);
     }
 
     /// Number of GPUs in the system.
@@ -190,8 +312,9 @@ impl Topology {
         self.ctrl.len()
     }
 
-    /// Aggregated traffic totals across the system. Data bytes are
-    /// accounted once (at egress); control/ACK bytes at their VC.
+    /// Aggregated traffic totals across the system, counted **per hop**:
+    /// data bytes are accounted at every egress port they cross (node and
+    /// switch); control/ACK bytes at their VC, scaled by route length.
     #[must_use]
     pub fn traffic_totals(&self) -> TrafficTotals {
         let mut totals = TrafficTotals::default();
@@ -212,7 +335,7 @@ impl Topology {
     /// Panics if `src` is outside the system.
     pub fn note_tampered_egress(&mut self, src: NodeId, n: u64) {
         self.egress
-            .get_mut(&src)
+            .get_mut(&Waypoint::Node(src))
             .expect("src within system")
             .note_tampered(n);
     }
@@ -224,29 +347,69 @@ impl Topology {
     }
 
     /// Iterates over `(node, egress port)` entries in a deterministic
-    /// order — the per-node data-traffic breakdown.
+    /// order — the per-node data-traffic breakdown (switch ports excluded;
+    /// see [`Topology::iter_switch_egress`]).
     pub fn iter_egress(&self) -> impl Iterator<Item = (NodeId, &Link)> {
-        let mut nodes: Vec<_> = self.egress.keys().copied().collect();
+        let mut nodes: Vec<_> = self
+            .egress
+            .keys()
+            .filter_map(|w| match w {
+                Waypoint::Node(n) => Some(*n),
+                Waypoint::Switch(_) => None,
+            })
+            .collect();
         nodes.sort();
-        nodes.into_iter().map(move |n| (n, &self.egress[&n]))
+        nodes
+            .into_iter()
+            .map(move |n| (n, &self.egress[&Waypoint::Node(n)]))
+    }
+
+    /// Iterates over `(switch, egress port)` entries in switch order —
+    /// the per-switch forwarding-traffic breakdown (empty outside
+    /// [`TopologyKind::Switch`]).
+    pub fn iter_switch_egress(&self) -> impl Iterator<Item = (u16, &Link)> {
+        (0..self.routes.switch_count()).map(move |s| (s, &self.egress[&Waypoint::Switch(s)]))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    //! Shared topology fixtures for this crate's unit tests.
+    use super::Topology;
+    use mgpu_types::{SystemConfig, TopologyKind};
+
+    /// The paper's 4-GPU fully-connected system.
+    pub fn paper_topo() -> Topology {
+        Topology::new(&SystemConfig::paper_4gpu())
+    }
+
+    /// A paper-parameter system with `gpus` GPUs on `kind`.
+    pub fn topo_for(kind: TopologyKind, gpus: u16) -> Topology {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.gpu_count = gpus;
+        cfg.topology = kind;
+        Topology::new(&cfg)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::fixtures::{paper_topo, topo_for};
     use super::*;
+    use mgpu_types::TopologyKind;
 
     #[test]
     fn four_gpu_port_and_vc_counts() {
-        let topo = Topology::new(&SystemConfig::paper_4gpu());
+        let topo = paper_topo();
         assert_eq!(topo.link_count(), 20); // 5 nodes x 4 peers, directed
         assert_eq!(topo.gpu_count(), 4);
         assert_eq!(topo.iter_egress().count(), 5);
+        assert_eq!(topo.iter_switch_egress().count(), 0);
     }
 
     #[test]
     fn port_speeds_follow_node_kind() {
-        let topo = Topology::new(&SystemConfig::paper_4gpu());
+        let topo = paper_topo();
         assert_eq!(topo.egress(NodeId::CPU).bandwidth(), 32);
         assert_eq!(topo.ingress(NodeId::CPU).bandwidth(), 32);
         assert_eq!(topo.egress(NodeId::gpu(1)).bandwidth(), 50);
@@ -264,7 +427,7 @@ mod tests {
 
     #[test]
     fn gpu_to_cpu_is_pcie_limited_at_ingress() {
-        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let mut topo = paper_topo();
         let pair = PairId::new(NodeId::gpu(1), NodeId::CPU);
         // 64 B: egress at 50 B/cy (2 cy) + 100 cy latency, then CPU ingress
         // at 32 B/cy (2 cy).
@@ -278,7 +441,7 @@ mod tests {
 
     #[test]
     fn egress_port_is_shared_across_destinations() {
-        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let mut topo = paper_topo();
         // 500 B to GPU2 occupies GPU1's egress for 10 cycles.
         topo.transmit(
             PairId::new(NodeId::gpu(1), NodeId::gpu(2)),
@@ -296,7 +459,7 @@ mod tests {
 
     #[test]
     fn ingress_port_is_shared_across_sources() {
-        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let mut topo = paper_topo();
         // Two 5000 B messages from different sources to GPU1 arriving
         // together: the second serializes behind the first at ingress.
         let a = topo.transmit(
@@ -315,7 +478,7 @@ mod tests {
 
     #[test]
     fn ctrl_vc_does_not_contend_with_data() {
-        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let mut topo = paper_topo();
         let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(2));
         for _ in 0..100 {
             topo.transmit(
@@ -335,7 +498,7 @@ mod tests {
 
     #[test]
     fn traffic_totals_count_data_once() {
-        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let mut topo = paper_topo();
         topo.transmit(
             PairId::new(NodeId::gpu(1), NodeId::gpu(2)),
             Cycle::ZERO,
@@ -358,7 +521,7 @@ mod tests {
 
     #[test]
     fn tampered_crossings_accumulate_per_egress() {
-        let mut topo = Topology::new(&SystemConfig::paper_4gpu());
+        let mut topo = paper_topo();
         assert_eq!(topo.tampered_total(), 0);
         topo.note_tampered_egress(NodeId::gpu(1), 2);
         topo.note_tampered_egress(NodeId::gpu(3), 1);
@@ -370,7 +533,173 @@ mod tests {
     #[test]
     #[should_panic(expected = "within system")]
     fn out_of_system_pair_panics() {
-        let topo = Topology::new(&SystemConfig::paper_4gpu());
+        let topo = paper_topo();
         let _ = topo.ctrl(PairId::new(NodeId::gpu(1), NodeId::gpu(9)));
+    }
+
+    #[test]
+    fn ring_transit_charges_each_hop() {
+        let mut topo = topo_for(TopologyKind::Ring, 8);
+        let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(3));
+        assert_eq!(topo.hops(pair), 2);
+        let arrival = topo.transmit(
+            pair,
+            Cycle::ZERO,
+            &[(ByteSize::CACHELINE, TrafficClass::Data)],
+        );
+        // Two store-and-forward legs: (2 ser + 100 lat + 2 ingress) x 2.
+        assert_eq!(arrival, Cycle::new(2 * (2 + 100 + 2)));
+        // 64 B counted once per hop.
+        assert_eq!(
+            topo.traffic_totals().get(TrafficClass::Data).as_u64(),
+            2 * 64
+        );
+        // The forwarding GPU's egress carried the transit bytes.
+        assert_eq!(
+            topo.egress(NodeId::gpu(2))
+                .totals()
+                .get(TrafficClass::Data)
+                .as_u64(),
+            64
+        );
+    }
+
+    #[test]
+    fn ring_forwarding_contends_with_own_traffic() {
+        let mut topo = topo_for(TopologyKind::Ring, 8);
+        // GPU2 is busy sending its own 500 B when GPU1->GPU3 transit
+        // traffic reaches it: the transit queues behind it.
+        topo.transmit(
+            PairId::new(NodeId::gpu(2), NodeId::gpu(3)),
+            Cycle::ZERO,
+            &[(ByteSize::new(50_000), TrafficClass::Data)],
+        );
+        let free = topo.egress(NodeId::gpu(2)).next_free();
+        let arrival = topo.transmit(
+            PairId::new(NodeId::gpu(1), NodeId::gpu(3)),
+            Cycle::ZERO,
+            &[(ByteSize::CACHELINE, TrafficClass::Data)],
+        );
+        assert!(
+            arrival > free,
+            "transit {arrival} should queue behind GPU2's own send ending {free}"
+        );
+    }
+
+    #[test]
+    fn switch_transit_uses_switch_ports() {
+        let mut topo = topo_for(TopologyKind::Switch { radix: 4 }, 8);
+        let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(5));
+        assert_eq!(topo.hops(pair), 4); // gpu -> leaf -> root -> leaf -> gpu
+        topo.transmit(
+            pair,
+            Cycle::ZERO,
+            &[(ByteSize::CACHELINE, TrafficClass::Data)],
+        );
+        assert_eq!(
+            topo.traffic_totals().get(TrafficClass::Data).as_u64(),
+            4 * 64
+        );
+        let switch_bytes: u64 = topo
+            .iter_switch_egress()
+            .map(|(_, l)| l.totals().get(TrafficClass::Data).as_u64())
+            .sum();
+        assert_eq!(switch_bytes, 3 * 64); // leaf0, root, leaf1
+    }
+
+    #[test]
+    fn ctrl_latency_and_accounting_scale_with_hops() {
+        let mut topo = topo_for(TopologyKind::Ring, 8);
+        let far = PairId::new(NodeId::gpu(1), NodeId::gpu(4)); // 3 hops
+        let arrival =
+            topo.transmit_ctrl(far, Cycle::ZERO, &[(ByteSize::new(16), TrafficClass::Mac)]);
+        // 1 cy serialization + 3 x 100 cy propagation.
+        assert_eq!(arrival, Cycle::new(1 + 300));
+        assert_eq!(topo.traffic_totals().get(TrafficClass::Mac).as_u64(), 48);
+        topo.charge_background(far, ByteSize::new(8), TrafficClass::Ack);
+        assert_eq!(topo.traffic_totals().get(TrafficClass::Ack).as_u64(), 24);
+    }
+
+    #[test]
+    fn fully_connected_matches_legacy_split_path() {
+        // depart/arrive on a 1-hop route must equal the legacy
+        // transmit_egress + ingress_occupy sequence.
+        let mut a = paper_topo();
+        let mut b = paper_topo();
+        let pair = PairId::new(NodeId::gpu(1), NodeId::gpu(2));
+        let parts = [(ByteSize::CACHELINE, TrafficClass::Data)];
+        let at_a = a.depart(pair, 0, Cycle::ZERO, &parts);
+        let done_a = a.arrive(pair, 1, at_a, ByteSize::CACHELINE);
+        let at_b = b.transmit_egress(NodeId::gpu(1), Cycle::ZERO, &parts);
+        let done_b = b.ingress_occupy(NodeId::gpu(2), at_b, ByteSize::CACHELINE);
+        assert_eq!(at_a, at_b);
+        assert_eq!(done_a, done_b);
+        assert_eq!(a.traffic_totals(), b.traffic_totals());
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Per-class byte conservation: for every injected message,
+            /// the system-wide totals grow by exactly `bytes x hops` in
+            /// that message's class — nothing is dropped, duplicated, or
+            /// misclassified anywhere on the route.
+            #[test]
+            fn bytes_injected_equal_bytes_accounted_per_hop(
+                shape in (0u8..3, 3u16..13),
+                msgs in proptest::collection::vec(
+                    ((1u16..64, 1u16..64), (1u64..4096, 0u8..6)), 1..40),
+            ) {
+                let (sel, gpus) = shape;
+                let kind = match sel {
+                    0 => TopologyKind::FullyConnected,
+                    1 => TopologyKind::Ring,
+                    _ => TopologyKind::Switch { radix: 4 },
+                };
+                let mut topo = topo_for(kind, gpus);
+                let mut expected = TrafficTotals::default();
+                for ((s, d), (bytes, class_sel)) in msgs {
+                    let src = NodeId::gpu((s - 1) % gpus + 1);
+                    let dst = NodeId::gpu((d - 1) % gpus + 1);
+                    prop_assume!(src != dst);
+                    let pair = PairId::new(src, dst);
+                    let class = TrafficClass::ALL[usize::from(class_sel) % 6];
+                    let hops = topo.hops(pair) as u64;
+                    topo.transmit(pair, Cycle::ZERO, &[(ByteSize::new(bytes), class)]);
+                    expected.add(class, ByteSize::new(bytes * hops));
+                }
+                prop_assert_eq!(topo.traffic_totals(), expected);
+            }
+
+            /// Control-VC accounting follows the same x hops rule.
+            #[test]
+            fn ctrl_bytes_scale_with_route_length(
+                shape in (0u8..3, 3u16..13),
+                msgs in proptest::collection::vec(
+                    ((1u16..64, 1u16..64), 1u64..256), 1..40),
+            ) {
+                let (sel, gpus) = shape;
+                let kind = match sel {
+                    0 => TopologyKind::FullyConnected,
+                    1 => TopologyKind::Ring,
+                    _ => TopologyKind::Switch { radix: 4 },
+                };
+                let mut topo = topo_for(kind, gpus);
+                let mut expected = 0u64;
+                for ((s, d), bytes) in msgs {
+                    let src = NodeId::gpu((s - 1) % gpus + 1);
+                    let dst = NodeId::gpu((d - 1) % gpus + 1);
+                    prop_assume!(src != dst);
+                    let pair = PairId::new(src, dst);
+                    let hops = topo.hops(pair) as u64;
+                    topo.transmit_ctrl(
+                        pair, Cycle::ZERO, &[(ByteSize::new(bytes), TrafficClass::Mac)]);
+                    expected += bytes * hops;
+                }
+                prop_assert_eq!(topo.traffic_totals().get(TrafficClass::Mac).as_u64(), expected);
+            }
+        }
     }
 }

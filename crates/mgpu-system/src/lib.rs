@@ -28,12 +28,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod harness;
 pub mod metrics;
+pub mod nic_pool;
 pub mod node;
+pub mod pacing;
 pub mod runner;
 pub mod simulation;
 
+pub use fabric::Fabric;
 pub use harness::WireHarness;
 pub use metrics::RunReport;
 pub use runner::{compare_schemes, normalized_time, SchemeResult};

@@ -1,0 +1,213 @@
+//! The fleet of secure NICs plus the replay-protection (ACK) tables.
+//!
+//! [`NicPool`] groups everything the event loop needs from the security
+//! layer: one [`SecureNic`] per node (crypto pipeline, OTP buffers,
+//! metadata batcher), the per-sender ACK-table occupancy counters, and
+//! the queue of prepared blocks deferred because their sender's table was
+//! full. An outgoing MAC-carrying block (or batch closer) holds one table
+//! entry until its ACK returns; a full table back-pressures further
+//! protected sends.
+
+use crate::node::{PreparedBlock, SecureNic};
+use mgpu_sim::link::TrafficClass;
+use mgpu_types::{ByteSize, Cycle, NodeId, SystemConfig};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A prepared, MAC-carrying block parked until a replay-table entry
+/// frees: `(pending index, wire parts, message counter)`.
+pub type DeferredBlock = (usize, Vec<(ByteSize, TrafficClass)>, u64);
+
+/// Per-node security state for one simulation run.
+#[derive(Debug)]
+pub struct NicPool {
+    nics: BTreeMap<NodeId, SecureNic>,
+    /// Free replay-table entries per sender. Signed: trailer flushes
+    /// reserve unconditionally and may transiently overdraw.
+    ack_free: BTreeMap<NodeId, i64>,
+    deferred: BTreeMap<NodeId, VecDeque<DeferredBlock>>,
+}
+
+impl NicPool {
+    /// Builds the pool. With `secure` false no NICs are instantiated
+    /// (unsecure baseline), but the ACK-table counters still exist so the
+    /// ablation paths can exercise them.
+    #[must_use]
+    pub fn new(config: &SystemConfig, secure: bool) -> Self {
+        let nics = if secure {
+            NodeId::all(config.gpu_count)
+                .map(|n| (n, SecureNic::new(n, config)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
+        let capacity = i64::from(config.security.ack_table_entries);
+        let ack_free = NodeId::all(config.gpu_count)
+            .map(|n| (n, capacity))
+            .collect();
+        NicPool {
+            nics,
+            ack_free,
+            deferred: BTreeMap::new(),
+        }
+    }
+
+    /// Nodes with a NIC, in ascending order.
+    #[must_use]
+    pub fn owners(&self) -> Vec<NodeId> {
+        self.nics.keys().copied().collect()
+    }
+
+    /// Prepares the next protected block from `owner` to `dst`.
+    pub fn prepare_send(&mut self, owner: NodeId, now: Cycle, dst: NodeId) -> PreparedBlock {
+        self.nics
+            .get_mut(&owner)
+            .expect("owner nic")
+            .prepare_send(now, dst)
+    }
+
+    /// Runs receive-side crypto at `requester` for a block from `owner`;
+    /// returns when the plaintext becomes usable.
+    pub fn receive(&mut self, requester: NodeId, now: Cycle, owner: NodeId, ctr: u64) -> Cycle {
+        self.nics
+            .get_mut(&requester)
+            .expect("requester nic")
+            .receive(now, owner, ctr)
+    }
+
+    /// The ACK message size `node` sends (zero under metadata-free
+    /// ablation).
+    #[must_use]
+    pub fn ack_bytes(&self, node: NodeId) -> ByteSize {
+        self.nics[&node].ack_bytes()
+    }
+
+    /// When `owner`'s batcher next needs a timeout check (`None` when
+    /// `owner` has no NIC or no open batch).
+    #[must_use]
+    pub fn next_flush_deadline(&self, owner: NodeId) -> Option<Cycle> {
+        self.nics.get(&owner)?.next_flush_deadline()
+    }
+
+    /// Flushes `owner`'s timed-out batches; empty when `owner` has no NIC.
+    pub fn flush_due(&mut self, owner: NodeId, now: Cycle) -> Vec<(NodeId, ByteSize)> {
+        match self.nics.get_mut(&owner) {
+            Some(nic) => nic.flush_due(now),
+            None => Vec::new(),
+        }
+    }
+
+    /// Force-closes all of `owner`'s open batches (end of run).
+    pub fn flush_all(&mut self, owner: NodeId) -> Vec<(NodeId, ByteSize)> {
+        self.nics.get_mut(&owner).expect("nic").flush_all()
+    }
+
+    /// Tries to reserve a replay-table entry at `owner` for an outgoing
+    /// MAC-carrying block. Returns `false` (and reserves nothing) when the
+    /// table is full — the caller should park the block with
+    /// [`NicPool::defer`].
+    pub fn try_reserve_ack(&mut self, owner: NodeId) -> bool {
+        let free = self.ack_free.get_mut(&owner).expect("node exists");
+        if *free <= 0 {
+            return false;
+        }
+        *free -= 1;
+        true
+    }
+
+    /// Unconditionally reserves a replay-table entry at `owner` (batch
+    /// trailer flushes are never deferred).
+    pub fn reserve_ack(&mut self, owner: NodeId) {
+        *self.ack_free.get_mut(&owner).expect("node exists") -= 1;
+    }
+
+    /// Parks a prepared block at `owner` until a table entry frees.
+    pub fn defer(&mut self, owner: NodeId, block: DeferredBlock) {
+        self.deferred.entry(owner).or_default().push_back(block);
+    }
+
+    /// Releases one replay-table entry at `owner` (its ACK returned) and
+    /// unparks the oldest deferred block, if any.
+    pub fn release_ack(&mut self, owner: NodeId) -> Option<DeferredBlock> {
+        *self.ack_free.get_mut(&owner).expect("node exists") += 1;
+        self.deferred.get_mut(&owner)?.pop_front()
+    }
+
+    /// Aggregated OTP statistics, pads issued, and mean batch occupancy
+    /// across the fleet.
+    #[must_use]
+    pub fn otp_summary(&self) -> (mgpu_secure::OtpStats, u64, f64) {
+        let mut otp = mgpu_secure::OtpStats::default();
+        let mut pads_issued = 0;
+        let mut occupancy_sum = 0.0;
+        let mut occupancy_n = 0u32;
+        for nic in self.nics.values() {
+            otp.merge(nic.otp_stats());
+            pads_issued += nic.pads_issued();
+            let occ = nic.mean_batch_occupancy();
+            if occ > 0.0 {
+                occupancy_sum += occ;
+                occupancy_n += 1;
+            }
+        }
+        let mean_occupancy = if occupancy_n > 0 {
+            occupancy_sum / f64::from(occupancy_n)
+        } else {
+            0.0
+        };
+        (otp, pads_issued, mean_occupancy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_types::OtpSchemeKind;
+
+    fn pool() -> NicPool {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.scheme = OtpSchemeKind::Private;
+        cfg.security.ack_table_entries = 2;
+        NicPool::new(&cfg, true)
+    }
+
+    #[test]
+    fn ack_table_backpressures_and_releases_fifo() {
+        let mut p = pool();
+        let owner = NodeId::gpu(1);
+        assert!(p.try_reserve_ack(owner));
+        assert!(p.try_reserve_ack(owner));
+        assert!(!p.try_reserve_ack(owner), "table of 2 is full");
+        p.defer(owner, (7, vec![], 1));
+        p.defer(owner, (8, vec![], 2));
+        let first = p.release_ack(owner).expect("oldest deferred unparks");
+        assert_eq!(first.0, 7);
+        let second = p.release_ack(owner).expect("next deferred unparks");
+        assert_eq!(second.0, 8);
+        assert!(p.release_ack(owner).is_none());
+    }
+
+    #[test]
+    fn trailer_reservation_can_overdraw() {
+        let mut p = pool();
+        let owner = NodeId::gpu(2);
+        assert!(p.try_reserve_ack(owner));
+        assert!(p.try_reserve_ack(owner));
+        // A batch-closing trailer reserves even when the table is full...
+        p.reserve_ack(owner);
+        // ...so three releases are needed before a new block fits.
+        assert!(p.release_ack(owner).is_none());
+        assert!(!p.try_reserve_ack(owner));
+        p.release_ack(owner);
+        p.release_ack(owner);
+        assert!(p.try_reserve_ack(owner));
+    }
+
+    #[test]
+    fn unsecure_pool_has_no_nics_but_keeps_tables() {
+        let cfg = SystemConfig::paper_4gpu();
+        let mut p = NicPool::new(&cfg, false);
+        assert!(p.owners().is_empty());
+        assert!(p.flush_due(NodeId::gpu(1), Cycle::ZERO).is_empty());
+        assert!(p.try_reserve_ack(NodeId::gpu(1)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Closed-loop request issue pacing.
+//!
+//! Each GPU's generated request timestamps define *compute gaps* between
+//! consecutive requests, and the GPU sustains at most `slots` in-flight
+//! requests (its memory-level parallelism). [`IssuePacer`] owns that
+//! state: the per-node request queues, the gap queues, the virtual time
+//! marking when the previous request issued, and the free-slot counters.
+//! A stalled GPU pushes all of its later work back — like a real kernel
+//! whose wavefronts cannot run ahead of their data.
+
+use mgpu_types::{Cycle, Duration, NodeId};
+use mgpu_workloads::Request;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The outcome of asking a node to issue at `now`.
+#[derive(Debug)]
+pub enum IssueDecision {
+    /// The node issues this request now (a slot was consumed).
+    Issue(Request),
+    /// The node's next request becomes compute-ready at this later cycle;
+    /// re-poll then.
+    NotBefore(Cycle),
+    /// All slots are in flight; a completion will re-poll.
+    Stalled,
+    /// The node's queue is empty.
+    Drained,
+}
+
+/// Per-node issue state for one simulation run.
+#[derive(Debug)]
+pub struct IssuePacer {
+    gaps: BTreeMap<NodeId, VecDeque<Duration>>,
+    reqs: BTreeMap<NodeId, VecDeque<Request>>,
+    /// Virtual time: when the node's previous request issued.
+    vt: BTreeMap<NodeId, Cycle>,
+    free_slots: BTreeMap<NodeId, u32>,
+}
+
+impl IssuePacer {
+    /// Builds the pacer from per-requester queues (each sorted by
+    /// `available_at`). Consecutive timestamp deltas become the compute
+    /// gaps; every node starts with `slots` free issue slots.
+    #[must_use]
+    pub fn new(queues: BTreeMap<NodeId, VecDeque<Request>>, slots: u32) -> Self {
+        let mut gaps: BTreeMap<NodeId, VecDeque<Duration>> = BTreeMap::new();
+        let mut reqs: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
+        for (node, queue) in queues {
+            let mut prev = Cycle::ZERO;
+            let g: &mut VecDeque<Duration> = gaps.entry(node).or_default();
+            for r in &queue {
+                g.push_back(r.available_at.saturating_since(prev));
+                prev = r.available_at;
+            }
+            reqs.insert(node, queue);
+        }
+        let vt = reqs.keys().map(|&n| (n, Cycle::ZERO)).collect();
+        let free_slots = reqs.keys().map(|&n| (n, slots)).collect();
+        IssuePacer {
+            gaps,
+            reqs,
+            vt,
+            free_slots,
+        }
+    }
+
+    /// The nodes with request queues, in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.reqs.keys().copied()
+    }
+
+    /// Polls `node` for an issue at `now`. Idempotent: every condition is
+    /// re-checked at call time, so stale polls are harmless.
+    pub fn poll(&mut self, node: NodeId, now: Cycle) -> IssueDecision {
+        let Some(front_gap) = self.gaps[&node].front().copied() else {
+            return IssueDecision::Drained;
+        };
+        let avail = self.vt[&node] + front_gap;
+        if avail > now {
+            return IssueDecision::NotBefore(avail);
+        }
+        if self.free_slots[&node] == 0 {
+            return IssueDecision::Stalled;
+        }
+        let request = self
+            .reqs
+            .get_mut(&node)
+            .expect("queue exists")
+            .pop_front()
+            .expect("gap implies request");
+        self.gaps.get_mut(&node).expect("gaps exist").pop_front();
+        self.vt.insert(node, now);
+        *self.free_slots.get_mut(&node).expect("slots exist") -= 1;
+        IssueDecision::Issue(request)
+    }
+
+    /// Returns `node`'s issue slot after one of its requests completes.
+    pub fn complete(&mut self, node: NodeId) {
+        *self.free_slots.get_mut(&node).expect("slots exist") += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queues(reqs: Vec<Request>) -> BTreeMap<NodeId, VecDeque<Request>> {
+        let mut q: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
+        for r in reqs {
+            q.entry(r.requester).or_default().push_back(r);
+        }
+        q
+    }
+
+    #[test]
+    fn issues_in_order_and_respects_gaps() {
+        let g1 = NodeId::gpu(1);
+        let mut p = IssuePacer::new(
+            queues(vec![
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+                Request::direct(Cycle::new(10), g1, NodeId::gpu(3)),
+            ]),
+            4,
+        );
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        // Second request needs its 10-cycle compute gap after the first.
+        match p.poll(g1, Cycle::new(3)) {
+            IssueDecision::NotBefore(c) => assert_eq!(c, Cycle::new(10)),
+            other => panic!("expected NotBefore, got {other:?}"),
+        }
+        assert!(matches!(
+            p.poll(g1, Cycle::new(10)),
+            IssueDecision::Issue(_)
+        ));
+        assert!(matches!(p.poll(g1, Cycle::new(10)), IssueDecision::Drained));
+    }
+
+    #[test]
+    fn stalls_at_slot_limit_until_completion() {
+        let g1 = NodeId::gpu(1);
+        let mut p = IssuePacer::new(
+            queues(vec![
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+            ]),
+            1,
+        );
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Stalled));
+        p.complete(g1);
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+    }
+
+    #[test]
+    fn stall_delays_later_work() {
+        let g1 = NodeId::gpu(1);
+        let mut p = IssuePacer::new(
+            queues(vec![
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+                Request::direct(Cycle::new(5), g1, NodeId::gpu(2)),
+            ]),
+            4,
+        );
+        // First issues late (at 100): the 5-cycle gap now counts from 100.
+        assert!(matches!(
+            p.poll(g1, Cycle::new(100)),
+            IssueDecision::Issue(_)
+        ));
+        match p.poll(g1, Cycle::new(100)) {
+            IssueDecision::NotBefore(c) => assert_eq!(c, Cycle::new(105)),
+            other => panic!("expected NotBefore, got {other:?}"),
+        }
+    }
+}

@@ -3,32 +3,37 @@
 //!
 //! ```text
 //! requester ──request(ctrl VC)──▶ owner ──HBM──▶ secure NIC (pad wait)
-//!    ──data+metadata (egress port → ingress port)──▶ requester NIC
+//!    ──data+metadata (per-hop transit across the fabric)──▶ requester NIC
 //!    (decrypt pad wait) ──ACK(ctrl VC)──▶ owner
 //! ```
 //!
-//! Every resource — HBM banks, per-node egress/ingress data ports,
+//! Every resource — HBM banks, per-waypoint egress/ingress data ports,
 //! per-pair control VCs, the AES engines behind each OTP scheme — is
 //! booked *at the simulated time the bytes reach it*, driven by a global
 //! time-ordered event queue, so contention between requests, responses,
 //! ACKs and batch trailers is captured without ordering artifacts.
 //!
-//! Each GPU sustains at most `max_outstanding` in-flight requests (its
-//! memory-level parallelism), and the workload's inter-request gaps are
-//! *compute time*: a stalled GPU pushes all of its later work back
-//! (closed-loop pacing), like a real kernel whose wavefronts cannot run
-//! ahead of their data. Execution time is the cycle at which the last
-//! request's data becomes usable.
+//! This module owns only the event loop; the pipeline components live in
+//! their own modules and the loop composes them:
+//!
+//! * [`crate::pacing`] — closed-loop issue pacing (compute gaps +
+//!   per-GPU memory-level-parallelism slots),
+//! * [`crate::nic_pool`] — the secure-NIC fleet, replay (ACK) tables and
+//!   the deferred-send queue,
+//! * [`crate::fabric`] — the routed interconnect, moving each block hop
+//!   by hop ([`Ev::BlockIngress`] re-fires per waypoint on multi-hop
+//!   topologies; encryption, MACs and replay protection stay end-to-end).
 
+use crate::fabric::{Fabric, HopOutcome, Transit};
 use crate::harness::WireHarness;
 use crate::metrics::RunReport;
-use crate::node::SecureNic;
+use crate::nic_pool::NicPool;
+use crate::pacing::{IssueDecision, IssuePacer};
 use mgpu_sim::dram::Hbm;
 use mgpu_sim::events::EventQueue;
 use mgpu_sim::link::TrafficClass;
-use mgpu_sim::topology::Topology;
 use mgpu_types::{ByteSize, Cycle, Duration, NodeId, OtpSchemeKind, PairId, SystemConfig};
-use mgpu_workloads::{AccessKind, Benchmark, Request, TrafficModel};
+use mgpu_workloads::{Benchmark, Request, TrafficModel};
 use std::collections::{BTreeMap, VecDeque};
 
 /// A configured, seeded simulation run.
@@ -75,14 +80,15 @@ enum Ev {
         counter: u64,
         acks: bool,
     },
-    /// The block reached the requester's ingress port.
+    /// The block's bytes reached the ingress of the next waypoint on
+    /// their route (on the fully-connected fabric, the destination).
     BlockIngress {
         idx: usize,
-        bytes: ByteSize,
+        transit: Transit,
         counter: u64,
         acks: bool,
     },
-    /// The block cleared the ingress port; run receive-side crypto.
+    /// The block cleared the destination ingress; run receive-side crypto.
     BlockRecv {
         idx: usize,
         counter: u64,
@@ -169,59 +175,27 @@ impl Simulation {
     fn run_requests(&self, queues: BTreeMap<NodeId, VecDeque<Request>>) -> RunReport {
         let cfg = &self.config;
         let wire = mgpu_secure::protocol::WireFormat::default();
-        let mut topo = Topology::new(cfg);
+        let mut fabric = Fabric::new(cfg);
         let mut hbm: BTreeMap<NodeId, Hbm> = NodeId::all(cfg.gpu_count)
             .map(|n| (n, Hbm::new(512, cfg.dram_latency)))
             .collect();
-        let mut nics: BTreeMap<NodeId, SecureNic> = if self.secure() {
-            NodeId::all(cfg.gpu_count)
-                .map(|n| (n, SecureNic::new(n, cfg)))
-                .collect()
-        } else {
-            BTreeMap::new()
-        };
+        let mut pool = NicPool::new(cfg, self.secure());
         // Adversarial runs thread every protected crossing through the
         // functional wire harness, which injects seeded faults and checks
         // that a defense catches each one.
         let mut harness = (self.secure() && cfg.adversary.enabled).then(|| WireHarness::new(cfg));
 
-        // Closed-loop pacing state: the generated timestamps define
-        // compute gaps between a GPU's requests.
-        let mut gaps: BTreeMap<NodeId, VecDeque<Duration>> = BTreeMap::new();
-        let mut reqs: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
-        for (node, queue) in queues {
-            let mut prev = Cycle::ZERO;
-            let g: &mut VecDeque<Duration> = gaps.entry(node).or_default();
-            for r in &queue {
-                g.push_back(r.available_at.saturating_since(prev));
-                prev = r.available_at;
-            }
-            reqs.insert(node, queue);
-        }
-        let mut vt: BTreeMap<NodeId, Cycle> = reqs.keys().map(|&n| (n, Cycle::ZERO)).collect();
         // Per-GPU in-flight limit: the lower of the hardware MLP cap and
         // the kernel's achievable memory-level parallelism.
         let slots_per_gpu = cfg.max_outstanding.min(self.params.outstanding).max(1);
-        let mut free_slots: BTreeMap<NodeId, u32> =
-            reqs.keys().map(|&n| (n, slots_per_gpu)).collect();
+        let mut pacer = IssuePacer::new(queues, slots_per_gpu);
 
         let mut events: EventQueue<Ev> = EventQueue::new();
-        for &node in reqs.keys() {
+        for node in pacer.nodes().collect::<Vec<_>>() {
             events.schedule(Cycle::ZERO, Ev::TryIssue(node));
         }
 
         let mut pending: Vec<Pending> = Vec::new();
-        // Replay-protection (ACK) table occupancy per sender: an outgoing
-        // protected block (or batch) holds one entry until its ACK returns;
-        // a full table defers further protected sends.
-        let ack_capacity = i64::from(cfg.security.ack_table_entries);
-        let mut ack_free: BTreeMap<NodeId, i64> = NodeId::all(cfg.gpu_count)
-            .map(|n| (n, ack_capacity))
-            .collect();
-        // Prepared, MAC-carrying blocks awaiting a free replay-table
-        // entry, per owner.
-        type Prepared = (usize, Vec<(ByteSize, TrafficClass)>, u64);
-        let mut deferred: BTreeMap<NodeId, VecDeque<Prepared>> = BTreeMap::new();
         let mut completion = Cycle::ZERO;
         let mut sum_latency = Duration::ZERO;
         let mut issue_times: Vec<Cycle> = Vec::new();
@@ -232,50 +206,34 @@ impl Simulation {
 
         while let Some((now, ev)) = events.pop() {
             match ev {
-                Ev::TryIssue(node) => {
-                    // Idempotent: re-checks every condition at fire time.
-                    let Some(front_gap) = gaps[&node].front().copied() else {
-                        continue;
-                    };
-                    let avail = vt[&node] + front_gap;
-                    if avail > now {
+                Ev::TryIssue(node) => match pacer.poll(node, now) {
+                    IssueDecision::Drained | IssueDecision::Stalled => {
+                        // Drained: nothing left. Stalled: a completion
+                        // will re-poll.
+                    }
+                    IssueDecision::NotBefore(avail) => {
                         events.schedule(avail, Ev::TryIssue(node));
-                        continue;
                     }
-                    if free_slots[&node] == 0 {
-                        continue; // a completion will re-schedule
+                    IssueDecision::Issue(request) => {
+                        last_issue = last_issue.max(now);
+                        let idx = pending.len();
+                        pending.push(Pending {
+                            requester: request.requester,
+                            owner: request.target,
+                            blocks_left: request.kind.blocks(),
+                        });
+                        issue_times.push(now);
+                        let to_owner = PairId::new(request.requester, request.target);
+                        let arrive = fabric.transmit_ctrl(
+                            to_owner,
+                            now,
+                            &[(wire.request, TrafficClass::Data)],
+                        );
+                        events.schedule(arrive, Ev::ReqArrive(idx));
+                        // Another request may issue this same cycle.
+                        events.schedule(now, Ev::TryIssue(node));
                     }
-                    let request = reqs
-                        .get_mut(&node)
-                        .expect("queue exists")
-                        .pop_front()
-                        .expect("gap implies request");
-                    gaps.get_mut(&node).expect("gaps exist").pop_front();
-                    vt.insert(node, now);
-                    *free_slots.get_mut(&node).expect("slots exist") -= 1;
-                    last_issue = last_issue.max(now);
-
-                    let idx = pending.len();
-                    pending.push(Pending {
-                        requester: request.requester,
-                        owner: request.target,
-                        blocks_left: request.kind.blocks(),
-                    });
-                    issue_times.push(now);
-                    let to_owner = PairId::new(request.requester, request.target);
-                    let arrive =
-                        topo.transmit_ctrl(to_owner, now, &[(wire.request, TrafficClass::Data)]);
-                    // Remember payload size through the pending entry.
-                    let payload = match request.kind {
-                        AccessKind::DirectBlock => ByteSize::CACHELINE,
-                        AccessKind::PageMigration => ByteSize::PAGE,
-                    };
-                    // Stash payload via blocks_left (derivable), schedule.
-                    let _ = payload;
-                    events.schedule(arrive, Ev::ReqArrive(idx));
-                    // Another request may issue this same cycle.
-                    events.schedule(now, Ev::TryIssue(node));
-                }
+                },
                 Ev::ReqArrive(idx) => {
                     let owner = pending[idx].owner;
                     let payload = if pending[idx].blocks_left > 1 {
@@ -294,9 +252,8 @@ impl Simulation {
                     let requester = pending[idx].requester;
                     let blocks = pending[idx].blocks_left;
                     if self.secure() {
-                        let nic = nics.get_mut(&owner).expect("owner nic");
                         for _ in 0..blocks {
-                            let prep = nic.prepare_send(now, requester);
+                            let prep = pool.prepare_send(owner, now, requester);
                             events.schedule(
                                 prep.ready,
                                 Ev::BlockEgress {
@@ -307,7 +264,7 @@ impl Simulation {
                                 },
                             );
                         }
-                        if let Some(deadline) = nic.next_flush_deadline() {
+                        if let Some(deadline) = pool.next_flush_deadline(owner) {
                             events.schedule(deadline.max(now), Ev::FlushCheck(owner));
                         }
                     } else {
@@ -336,23 +293,18 @@ impl Simulation {
                         // batch closer): it must hold a replay-table entry
                         // until its ACK returns. A full table defers the
                         // release.
-                        let free = ack_free.get_mut(&owner).expect("node exists");
-                        if *free <= 0 {
-                            deferred
-                                .entry(owner)
-                                .or_default()
-                                .push_back((idx, parts, counter));
+                        if !pool.try_reserve_ack(owner) {
+                            pool.defer(owner, (idx, parts, counter));
                             continue;
                         }
-                        *free -= 1;
                     }
-                    let bytes: ByteSize = parts.iter().map(|(b, _)| *b).sum();
-                    let at_ingress = topo.transmit_egress(owner, now, &parts);
+                    let pair = PairId::new(owner, pending[idx].requester);
+                    let (at, transit) = fabric.begin(pair, now, parts);
                     events.schedule(
-                        at_ingress,
+                        at,
                         Ev::BlockIngress {
                             idx,
-                            bytes,
+                            transit,
                             counter,
                             acks,
                         },
@@ -360,14 +312,25 @@ impl Simulation {
                 }
                 Ev::BlockIngress {
                     idx,
-                    bytes,
+                    transit,
                     counter,
                     acks,
-                } => {
-                    let requester = pending[idx].requester;
-                    let through = topo.ingress_occupy(requester, now, bytes);
-                    events.schedule(through, Ev::BlockRecv { idx, counter, acks });
-                }
+                } => match fabric.advance(transit, now) {
+                    HopOutcome::Forwarded { at, transit } => {
+                        events.schedule(
+                            at,
+                            Ev::BlockIngress {
+                                idx,
+                                transit,
+                                counter,
+                                acks,
+                            },
+                        );
+                    }
+                    HopOutcome::Delivered { at } => {
+                        events.schedule(at, Ev::BlockRecv { idx, counter, acks });
+                    }
+                },
                 Ev::BlockRecv { idx, counter, acks } => {
                     let usable = if self.secure() {
                         let requester = pending[idx].requester;
@@ -375,12 +338,10 @@ impl Simulation {
                         if let Some(h) = harness.as_mut() {
                             let tampered = h.on_block(now, owner, requester);
                             if tampered > 0 {
-                                topo.note_tampered_egress(owner, tampered);
+                                fabric.note_tampered_egress(owner, tampered);
                             }
                         }
-                        nics.get_mut(&requester)
-                            .expect("requester nic")
-                            .receive(now, owner, counter)
+                        pool.receive(requester, now, owner, counter)
                     } else {
                         now
                     };
@@ -391,9 +352,9 @@ impl Simulation {
                     if acks {
                         let requester = pending[idx].requester;
                         let owner = pending[idx].owner;
-                        let ack = nics[&requester].ack_bytes();
+                        let ack = pool.ack_bytes(requester);
                         if ack > ByteSize::ZERO {
-                            let back = topo.transmit_ctrl(
+                            let back = fabric.transmit_ctrl(
                                 PairId::new(requester, owner),
                                 now,
                                 &[(ack, TrafficClass::Ack)],
@@ -412,42 +373,36 @@ impl Simulation {
                         completion = completion.max(now);
                         sum_latency += now.saturating_since(issue_times[idx]);
                         requests_done += 1;
-                        *free_slots.get_mut(&requester).expect("slots exist") += 1;
+                        pacer.complete(requester);
                         events.schedule(now, Ev::TryIssue(requester));
                     }
                 }
                 Ev::AckArrive(owner) => {
-                    *ack_free.get_mut(&owner).expect("node exists") += 1;
-                    if let Some(queue) = deferred.get_mut(&owner) {
-                        if let Some((idx, parts, counter)) = queue.pop_front() {
-                            events.schedule(
-                                now,
-                                Ev::BlockEgress {
-                                    idx,
-                                    parts,
-                                    counter,
-                                    acks: true,
-                                },
-                            );
-                        }
+                    if let Some((idx, parts, counter)) = pool.release_ack(owner) {
+                        events.schedule(
+                            now,
+                            Ev::BlockEgress {
+                                idx,
+                                parts,
+                                counter,
+                                acks: true,
+                            },
+                        );
                     }
                 }
                 Ev::FlushCheck(owner) => {
-                    let Some(nic) = nics.get_mut(&owner) else {
-                        continue;
-                    };
-                    let flushed = nic.flush_due(now);
+                    let flushed = pool.flush_due(owner, now);
                     for (dst, mac_bytes) in flushed {
                         if let Some(h) = harness.as_mut() {
                             let tampered = h.on_flush(now, owner, dst);
                             if tampered > 0 {
-                                topo.note_tampered_egress(owner, tampered);
+                                fabric.note_tampered_egress(owner, tampered);
                             }
                         }
                         // A flushed batch closes: its trailer occupies a
                         // replay-table entry until the batch ACK returns.
-                        *ack_free.get_mut(&owner).expect("node exists") -= 1;
-                        let arrive = topo.transmit_ctrl(
+                        pool.reserve_ack(owner);
+                        let arrive = fabric.transmit_ctrl(
                             PairId::new(owner, dst),
                             now,
                             &[(mac_bytes, TrafficClass::Mac)],
@@ -460,14 +415,14 @@ impl Simulation {
                             },
                         );
                     }
-                    if let Some(deadline) = nics[&owner].next_flush_deadline() {
+                    if let Some(deadline) = pool.next_flush_deadline(owner) {
                         events.schedule(deadline.max(now), Ev::FlushCheck(owner));
                     }
                 }
                 Ev::TrailerAck { receiver, owner } => {
-                    let ack = nics[&receiver].ack_bytes();
+                    let ack = pool.ack_bytes(receiver);
                     if ack > ByteSize::ZERO {
-                        let back = topo.transmit_ctrl(
+                        let back = fabric.transmit_ctrl(
                             PairId::new(receiver, owner),
                             now,
                             &[(ack, TrafficClass::Ack)],
@@ -483,24 +438,23 @@ impl Simulation {
 
         // Drain any still-open batches at end of run.
         if self.secure() {
-            let owners: Vec<NodeId> = nics.keys().copied().collect();
-            for owner in owners {
-                let drained = nics.get_mut(&owner).expect("nic").flush_all();
+            for owner in pool.owners() {
+                let drained = pool.flush_all(owner);
                 for (dst, mac_bytes) in drained {
                     if let Some(h) = harness.as_mut() {
                         let tampered = h.on_flush(completion, owner, dst);
                         if tampered > 0 {
-                            topo.note_tampered_egress(owner, tampered);
+                            fabric.note_tampered_egress(owner, tampered);
                         }
                     }
-                    topo.transmit_ctrl(
+                    fabric.transmit_ctrl(
                         PairId::new(owner, dst),
                         completion,
                         &[(mac_bytes, TrafficClass::Mac)],
                     );
-                    let ack = nics[&dst].ack_bytes();
+                    let ack = pool.ack_bytes(dst);
                     if ack > ByteSize::ZERO {
-                        topo.transmit_ctrl(
+                        fabric.transmit_ctrl(
                             PairId::new(dst, owner),
                             completion,
                             &[(ack, TrafficClass::Ack)],
@@ -515,23 +469,11 @@ impl Simulation {
         // may lag the NIC's timing batcher by a partial batch) flush now.
         if let Some(h) = harness.as_mut() {
             for (src, tampered) in h.finish(completion) {
-                topo.note_tampered_egress(src, tampered);
+                fabric.note_tampered_egress(src, tampered);
             }
         }
 
-        let mut otp = mgpu_secure::OtpStats::default();
-        let mut pads_issued = 0;
-        let mut occupancy_sum = 0.0;
-        let mut occupancy_n = 0u32;
-        for nic in nics.values() {
-            otp.merge(nic.otp_stats());
-            pads_issued += nic.pads_issued();
-            let occ = nic.mean_batch_occupancy();
-            if occ > 0.0 {
-                occupancy_sum += occ;
-                occupancy_n += 1;
-            }
-        }
+        let (otp, pads_issued, mean_batch_occupancy) = pool.otp_summary();
 
         RunReport {
             benchmark: self.benchmark,
@@ -540,18 +482,14 @@ impl Simulation {
             total_cycles: completion.saturating_since(Cycle::ZERO),
             requests: requests_done,
             blocks: blocks_done,
-            traffic: topo.traffic_totals(),
+            traffic: fabric.traffic_totals(),
             otp,
             acks_sent,
             pads_issued,
-            mean_batch_occupancy: if occupancy_n > 0 {
-                occupancy_sum / f64::from(occupancy_n)
-            } else {
-                0.0
-            },
+            mean_batch_occupancy,
             sum_request_latency: sum_latency,
             last_issue: last_issue.saturating_since(Cycle::ZERO),
-            tampered_crossings: topo.tampered_total(),
+            tampered_crossings: fabric.tampered_total(),
             security: harness.map(WireHarness::into_log).unwrap_or_default(),
         }
     }
@@ -560,7 +498,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgpu_types::Direction;
+    use mgpu_types::{Direction, TopologyKind};
 
     fn config(scheme: OtpSchemeKind) -> SystemConfig {
         let mut cfg = SystemConfig::paper_4gpu();
@@ -738,6 +676,55 @@ mod tests {
         // outcome, not a performance one.
         assert_eq!(clean.total_cycles, attacked.total_cycles);
         assert_eq!(clean.traffic.total(), attacked.traffic.total());
+    }
+
+    #[test]
+    fn multi_hop_topologies_run_end_to_end() {
+        for kind in [TopologyKind::Ring, TopologyKind::Switch { radix: 4 }] {
+            let mut cfg = config(OtpSchemeKind::Dynamic);
+            cfg.gpu_count = 8;
+            cfg.topology = kind;
+            let r = Simulation::new(cfg, Benchmark::Spmv, 42).run_for_requests(150);
+            assert_eq!(r.requests, 8 * 150, "{kind}");
+            assert!(r.traffic.metadata().as_u64() > 0, "{kind}");
+            assert!(r.security.is_clean(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn multi_hop_amplifies_traffic_and_slows_completion() {
+        let mut fc = config(OtpSchemeKind::Private);
+        fc.gpu_count = 8;
+        let flat = Simulation::new(fc.clone(), Benchmark::Spmv, 42).run_for_requests(150);
+        let mut ring = fc.clone();
+        ring.topology = TopologyKind::Ring;
+        let ringed = Simulation::new(ring, Benchmark::Spmv, 42).run_for_requests(150);
+        assert!(
+            ringed.traffic.total() > flat.traffic.total(),
+            "ring {} <= fc {}",
+            ringed.traffic.total(),
+            flat.traffic.total()
+        );
+        assert!(
+            ringed.total_cycles >= flat.total_cycles,
+            "ring {} < fc {}",
+            ringed.total_cycles,
+            flat.total_cycles
+        );
+    }
+
+    #[test]
+    fn adversarial_detection_holds_on_multi_hop_fabrics() {
+        use mgpu_types::AdversaryConfig;
+        let mut cfg = config(OtpSchemeKind::Dynamic);
+        cfg.gpu_count = 8;
+        cfg.topology = TopologyKind::Ring;
+        cfg.security.batching.enabled = true;
+        cfg.adversary = AdversaryConfig::active(100);
+        let r = Simulation::new(cfg, Benchmark::MatrixTranspose, 42).run_for_requests(200);
+        assert!(r.security.total_injected() > 0);
+        assert_eq!(r.security.total_missed(), 0, "{:?}", r.security);
+        assert_eq!(r.security.false_positives(), 0);
     }
 
     #[test]

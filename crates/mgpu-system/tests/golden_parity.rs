@@ -1,0 +1,64 @@
+//! Golden parity: the routed-fabric refactor must reproduce the
+//! pre-refactor timings bit for bit under `TopologyKind::FullyConnected`.
+//!
+//! The constants below were captured from the monolithic (pre-fabric)
+//! timing loop: the seeded `compare_schemes` matrix over the paper's
+//! 4-GPU system, 200 requests per GPU, seed 42. The event queue breaks
+//! time ties by insertion order, so any change to the call sequence of
+//! the fully-connected hot path shows up here as a cycle or byte drift.
+//! If this test fails, the refactor changed simulated behaviour — fix
+//! the code, do not re-capture the constants.
+
+use mgpu_system::runner::{compare_schemes, configs};
+use mgpu_types::{SystemConfig, TopologyKind};
+use mgpu_workloads::Benchmark;
+
+/// (scheme label, benchmark, total cycles, total wire bytes).
+const GOLDEN: &[(&str, Benchmark, u64, u64)] = &[
+    ("private-4x", Benchmark::MatrixTranspose, 5704, 110_030),
+    ("private-16x", Benchmark::MatrixTranspose, 3412, 110_030),
+    ("shared-4x", Benchmark::MatrixTranspose, 14_504, 110_030),
+    ("cached-4x", Benchmark::MatrixTranspose, 5145, 110_030),
+    ("dynamic-4x", Benchmark::MatrixTranspose, 5210, 110_030),
+    ("batching-4x", Benchmark::MatrixTranspose, 4265, 89_531),
+    ("private-4x", Benchmark::Spmv, 3844, 96_800),
+    ("private-16x", Benchmark::Spmv, 2440, 96_800),
+    ("shared-4x", Benchmark::Spmv, 10_299, 96_800),
+    ("cached-4x", Benchmark::Spmv, 3456, 96_800),
+    ("dynamic-4x", Benchmark::Spmv, 3582, 96_800),
+    ("batching-4x", Benchmark::Spmv, 3676, 79_275),
+];
+
+#[test]
+fn fully_connected_reproduces_pre_fabric_timings_bit_for_bit() {
+    let base = SystemConfig::paper_4gpu();
+    assert_eq!(base.topology, TopologyKind::FullyConnected);
+    let cfgs = vec![
+        ("private-4x".to_string(), configs::private(&base, 4)),
+        ("private-16x".to_string(), configs::private(&base, 16)),
+        ("shared-4x".to_string(), configs::shared(&base, 4)),
+        ("cached-4x".to_string(), configs::cached(&base, 4)),
+        ("dynamic-4x".to_string(), configs::dynamic(&base, 4)),
+        ("batching-4x".to_string(), configs::batching(&base, 4)),
+    ];
+    for bench in [Benchmark::MatrixTranspose, Benchmark::Spmv] {
+        for r in compare_schemes(bench, &cfgs, 200, 42) {
+            let (_, _, cycles, bytes) = *GOLDEN
+                .iter()
+                .find(|(label, b, _, _)| *label == r.label && *b == bench)
+                .unwrap_or_else(|| panic!("no golden entry for {} / {bench:?}", r.label));
+            assert_eq!(
+                r.report.total_cycles.as_u64(),
+                cycles,
+                "{} / {bench:?}: cycle drift",
+                r.label
+            );
+            assert_eq!(
+                r.report.traffic.total().as_u64(),
+                bytes,
+                "{} / {bench:?}: wire-byte drift",
+                r.label
+            );
+        }
+    }
+}

@@ -50,6 +50,72 @@ impl fmt::Display for OtpSchemeKind {
     }
 }
 
+/// Shape of the GPU-to-GPU interconnect fabric.
+///
+/// The paper evaluates a fully-connected 4-GPU system (one direct link per
+/// ordered pair). Real NVLink fabrics are rings and switch hierarchies
+/// where traffic from different pairs shares physical hops — which is
+/// where per-hop metadata amplification makes the paper's Dynamic and
+/// Batching schemes matter more. The CPU keeps a direct PCIe link to
+/// every GPU in all variants; only GPU–GPU routing changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// One direct NVLink-class link per ordered GPU pair (paper Fig. 2).
+    #[default]
+    FullyConnected,
+    /// GPUs form a ring; GPU–GPU traffic is forwarded around the shorter
+    /// arc (ties go the ascending-index way) through intermediate GPUs.
+    Ring,
+    /// GPUs attach in groups of `radix` to leaf switches; multiple leaves
+    /// hang off one root switch. GPU–GPU traffic crosses its leaf (and
+    /// the root when the destination sits under another leaf).
+    Switch {
+        /// GPU ports per leaf switch (≥ 2).
+        radix: u16,
+    },
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::FullyConnected => f.write_str("fully-connected"),
+            TopologyKind::Ring => f.write_str("ring"),
+            TopologyKind::Switch { radix } => write!(f, "switch-r{radix}"),
+        }
+    }
+}
+
+impl TopologyKind {
+    /// Validates the topology for a system with `gpu_count` GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the shape cannot host the GPUs: a ring
+    /// needs at least 3 GPUs to differ from direct links, and a switch
+    /// radix below 2 cannot aggregate anything.
+    pub fn validate(&self, gpu_count: u16) -> Result<(), ConfigError> {
+        match self {
+            TopologyKind::FullyConnected => Ok(()),
+            TopologyKind::Ring => {
+                if gpu_count < 3 {
+                    return Err(ConfigError::new(format!(
+                        "a ring needs at least 3 GPUs, got {gpu_count}"
+                    )));
+                }
+                Ok(())
+            }
+            TopologyKind::Switch { radix } => {
+                if *radix < 2 {
+                    return Err(ConfigError::new(format!(
+                        "switch radix must be >= 2, got {radix}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Parameters of the paper's `Dynamic` OTP allocator (§IV-B, Table III).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicConfig {
@@ -264,6 +330,8 @@ impl Default for SecurityConfig {
 pub struct SystemConfig {
     /// Number of GPUs (the CPU is always present in addition).
     pub gpu_count: u16,
+    /// Shape of the GPU-to-GPU interconnect fabric.
+    pub topology: TopologyKind,
     /// Compute units per GPU (paper: 64). Only shapes workload issue width.
     pub cus_per_gpu: u32,
     /// GPU–GPU link bandwidth in bytes per cycle (NVLink2-class: 50 GB/s at
@@ -298,6 +366,7 @@ impl SystemConfig {
     pub fn paper_4gpu() -> Self {
         SystemConfig {
             gpu_count: 4,
+            topology: TopologyKind::FullyConnected,
             cus_per_gpu: 64,
             gpu_link_bytes_per_cycle: 50,
             pcie_bytes_per_cycle: 32,
@@ -328,6 +397,13 @@ impl SystemConfig {
         // 128 buffers / (16 peers * 2 directions) = 4 per pair-direction.
         cfg.security.otp_multiplier = 4;
         cfg
+    }
+
+    /// The same system with a different fabric shape.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Total nodes in the system (GPUs + the CPU).
@@ -361,6 +437,7 @@ impl SystemConfig {
                 "at least 2 GPUs are required for inter-GPU communication",
             ));
         }
+        self.topology.validate(self.gpu_count)?;
         if self.gpu_link_bytes_per_cycle == 0 || self.pcie_bytes_per_cycle == 0 {
             return Err(ConfigError::new("link bandwidth must be non-zero"));
         }
@@ -439,6 +516,34 @@ mod tests {
         let mut cfg = SystemConfig::paper_4gpu();
         cfg.adversary.rate_permille = 1001;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topology_defaults_and_validation() {
+        assert_eq!(TopologyKind::default(), TopologyKind::FullyConnected);
+        assert_eq!(
+            SystemConfig::paper_4gpu().topology,
+            TopologyKind::FullyConnected
+        );
+
+        let ring = SystemConfig::paper_4gpu().with_topology(TopologyKind::Ring);
+        ring.validate().unwrap();
+
+        let mut tiny_ring = ring;
+        tiny_ring.gpu_count = 2;
+        assert!(tiny_ring.validate().is_err());
+
+        let sw = SystemConfig::paper_8gpu().with_topology(TopologyKind::Switch { radix: 4 });
+        sw.validate().unwrap();
+        let bad = SystemConfig::paper_8gpu().with_topology(TopologyKind::Switch { radix: 1 });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn topology_display_names() {
+        assert_eq!(TopologyKind::FullyConnected.to_string(), "fully-connected");
+        assert_eq!(TopologyKind::Ring.to_string(), "ring");
+        assert_eq!(TopologyKind::Switch { radix: 4 }.to_string(), "switch-r4");
     }
 
     #[test]

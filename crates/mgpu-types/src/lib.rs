@@ -27,6 +27,7 @@ pub mod units;
 
 pub use config::{
     AdversaryConfig, BatchingConfig, DynamicConfig, OtpSchemeKind, SecurityConfig, SystemConfig,
+    TopologyKind,
 };
 pub use error::{ConfigError, MgpuError};
 pub use ids::{Direction, NodeId, PairId};
