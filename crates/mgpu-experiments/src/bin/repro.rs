@@ -6,11 +6,16 @@
 //!
 //! Every run also writes a machine-readable benchmark record
 //! (`BENCH_repro.json` by default) with per-experiment wall-clock seconds,
-//! the total, the git revision, and the run mode, so performance can be
-//! tracked across commits.
+//! the total, the git revision (plus whether the tree was dirty, so stale
+//! records are attributable), and the run mode, so performance can be
+//! tracked across commits. When the `timeline` experiment is among the
+//! run ids, the record also carries an `observability` block with the
+//! timeline's summary percentiles. The full schema is documented in
+//! `EXPERIMENTS.md`.
 
 use mgpu_experiments::common::cache_counters;
-use mgpu_experiments::{find, registry, Mode};
+use mgpu_experiments::{find, registry, timeline, Mode};
+use mgpu_system::timeseries::TimelineSummary;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -54,6 +59,18 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Whether the working tree has uncommitted changes; `None` outside a
+/// checkout (serialized as `null` so "unknown" is distinguishable from
+/// "clean").
+fn git_dirty() -> Option<bool> {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| !out.stdout.is_empty())
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -66,9 +83,28 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-/// Renders the benchmark record. Hand-rolled JSON: the schema is four keys
-/// and a flat array, not worth a serializer dependency.
-fn bench_json(mode: Mode, timings: &[Timing], total_seconds: f64) -> String {
+/// `Option<f64>` as a JSON value (`null` for absent or non-finite).
+fn json_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// `Option<bool>` as a JSON value (`null` for unknown).
+fn json_opt_bool(x: Option<bool>) -> String {
+    x.map_or_else(|| "null".to_string(), |b| b.to_string())
+}
+
+/// Renders the benchmark record. Hand-rolled JSON: the schema is a handful
+/// of keys and a flat array, not worth a serializer dependency. Documented
+/// in `EXPERIMENTS.md`.
+fn bench_json(
+    mode: Mode,
+    timings: &[Timing],
+    total_seconds: f64,
+    observability: Option<&TimelineSummary>,
+) -> String {
     let mode_name = match mode {
         Mode::Full => "full",
         Mode::Quick => "quick",
@@ -79,8 +115,26 @@ fn bench_json(mode: Mode, timings: &[Timing], total_seconds: f64) -> String {
         "  \"git_rev\": \"{}\",\n",
         json_escape(&git_rev())
     ));
+    out.push_str(&format!(
+        "  \"git_dirty\": {},\n",
+        json_opt_bool(git_dirty())
+    ));
     out.push_str(&format!("  \"mode\": \"{mode_name}\",\n"));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
+    if let Some(s) = observability {
+        out.push_str(&format!(
+            "  \"observability\": {{\"intervals\": {}, \"trace_events\": {}, \
+             \"events_dropped\": {}, \"hit_rate_p50\": {}, \"hit_rate_p90\": {}, \
+             \"queue_depth_p50\": {}, \"queue_depth_p90\": {}}},\n",
+            s.intervals,
+            s.trace_events,
+            s.events_dropped,
+            json_opt(s.hit_rate_p50),
+            json_opt(s.hit_rate_p90),
+            json_opt(s.queue_depth_p50),
+            json_opt(s.queue_depth_p90),
+        ));
+    }
     out.push_str("  \"experiments\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
@@ -174,7 +228,14 @@ fn main() -> ExitCode {
         timings.len()
     );
 
-    let record = bench_json(mode, &timings, total_seconds);
+    // The timeline run is cheap and deterministic; fold its summary
+    // percentiles into the record whenever the experiment was part of the
+    // suite.
+    let observability = ids
+        .iter()
+        .any(|id| id == "timeline")
+        .then(|| timeline::summary(mode));
+    let record = bench_json(mode, &timings, total_seconds, observability.as_ref());
     if let Err(err) = std::fs::write(&bench_json_path, record) {
         eprintln!(
             "failed to write benchmark record {}: {err}",

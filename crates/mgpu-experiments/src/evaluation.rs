@@ -38,7 +38,7 @@ fn normalized_table(
         let mut row = vec![bench.abbrev().to_string()];
         for (i, (_, cfg)) in cfgs.iter().enumerate() {
             let r = common::run(cfg, bench, mode);
-            let n = r.normalized_time(&baseline);
+            let n = r.normalized_time(&baseline).unwrap_or(1.0);
             columns[i].push(n);
             row.push(ratio(n));
         }
@@ -80,7 +80,7 @@ pub fn fig23(mode: Mode) -> Vec<Table> {
         let mut row = vec![bench.abbrev().to_string()];
         for (i, (_, cfg)) in cfgs.iter().enumerate() {
             let r = common::run(cfg, bench, mode);
-            let tr = r.traffic_ratio(&baseline);
+            let tr = r.traffic_ratio(&baseline).unwrap_or(1.0);
             columns[i].push(tr);
             row.push(ratio(tr));
         }
@@ -138,7 +138,7 @@ pub fn fig26(mode: Mode) -> Vec<Table> {
             for &bench in mode.suite() {
                 let baseline = common::run_baseline(cfg, bench, mode);
                 let r = common::run(cfg, bench, mode);
-                values.push(r.normalized_time(&baseline));
+                values.push(r.normalized_time(&baseline).unwrap_or(1.0));
             }
             row.push(ratio(common::geomean(&values)));
         }
@@ -256,8 +256,8 @@ pub fn ablation_batch_size(mode: Mode) -> Vec<Table> {
         for &bench in mode.suite() {
             let baseline = common::run_baseline(cfg, bench, mode);
             let r = common::run(cfg, bench, mode);
-            times.push(r.normalized_time(&baseline));
-            traffics.push(r.traffic_ratio(&baseline));
+            times.push(r.normalized_time(&baseline).unwrap_or(1.0));
+            traffics.push(r.traffic_ratio(&baseline).unwrap_or(1.0));
             occupancy += r.mean_batch_occupancy;
             count += 1.0;
         }
@@ -299,7 +299,11 @@ pub fn ablation_interval(mode: Mode) -> Vec<Table> {
         let mut times = Vec::new();
         for &bench in mode.suite() {
             let baseline = common::run_baseline(cfg, bench, mode);
-            times.push(common::run(cfg, bench, mode).normalized_time(&baseline));
+            times.push(
+                common::run(cfg, bench, mode)
+                    .normalized_time(&baseline)
+                    .unwrap_or(1.0),
+            );
         }
         t.add_row(vec![interval.to_string(), ratio(common::geomean(&times))]);
     }

@@ -21,6 +21,7 @@ pub mod common;
 pub mod evaluation;
 pub mod motivation;
 pub mod report;
+pub mod timeline;
 pub mod topology;
 
 pub use common::Mode;
@@ -163,6 +164,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "ring8_smoke",
             title: "8-GPU ring compare_schemes smoke",
             run: topology::ring8_smoke,
+        },
+        Experiment {
+            id: "timeline",
+            title: "Interval-resolved dynamic-allocation timeline",
+            run: timeline::timeline,
         },
     ]
 }

@@ -56,7 +56,7 @@ pub fn fig08(mode: Mode) -> Vec<Table> {
         let mut row = vec![bench.abbrev().to_string()];
         for (i, &m) in mults.iter().enumerate() {
             let r = common::run(&configs::private(&base, m), bench, mode);
-            let n = r.normalized_time(&baseline);
+            let n = r.normalized_time(&baseline).unwrap_or(1.0);
             columns[i].push(n);
             row.push(ratio(n));
         }
@@ -98,7 +98,7 @@ fn scheme_comparison_table(title: &str, cfgs: &[(String, SystemConfig)], mode: M
         let mut row = vec![bench.abbrev().to_string()];
         for (i, (_, cfg)) in cfgs.iter().enumerate() {
             let r = common::run(cfg, bench, mode);
-            let n = r.normalized_time(&baseline);
+            let n = r.normalized_time(&baseline).unwrap_or(1.0);
             columns[i].push(n);
             row.push(ratio(n));
         }
@@ -209,7 +209,7 @@ pub fn fig12(mode: Mode) -> Vec<Table> {
     for &bench in mode.suite() {
         let baseline = common::run_baseline(&cfg, bench, mode);
         let r = common::run(&cfg, bench, mode);
-        let tr = r.traffic_ratio(&baseline);
+        let tr = r.traffic_ratio(&baseline).unwrap_or(1.0);
         ratios.push(tr);
         t.add_row(vec![
             bench.abbrev().to_string(),

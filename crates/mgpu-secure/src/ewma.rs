@@ -21,8 +21,12 @@ use std::collections::BTreeMap;
 /// Splits `total` units proportionally to `weights` using the
 /// largest-remainder method. The result always sums to `total`.
 ///
-/// Weights are clamped to be non-negative; if they sum to zero the split is
-/// as even as possible (earlier indices get the extras).
+/// Weights are sanitized before use: negative and **non-finite** values
+/// (NaN, ±inf) are treated as zero. EWMA state can only go non-finite if a
+/// caller feeds in a corrupted weight vector, but a metadata allocator must
+/// not panic (or silently hand +inf the whole pool) on bad telemetry — it
+/// degrades to ignoring the bad entry. If every weight sanitizes to zero
+/// the split is as even as possible (earlier indices get the extras).
 ///
 /// # Examples
 ///
@@ -32,13 +36,18 @@ use std::collections::BTreeMap;
 /// assert_eq!(partition(10, &[0.5, 0.5]), vec![5, 5]);
 /// assert_eq!(partition(10, &[0.74, 0.26]), vec![7, 3]);
 /// assert_eq!(partition(7, &[1.0, 1.0, 1.0]).iter().sum::<u32>(), 7);
+/// // Non-finite weights are ignored, not propagated.
+/// assert_eq!(partition(8, &[f64::NAN, 1.0, f64::INFINITY]), vec![0, 8, 0]);
 /// ```
 #[must_use]
 pub fn partition(total: u32, weights: &[f64]) -> Vec<u32> {
     if weights.is_empty() {
         return Vec::new();
     }
-    let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();
+    let clamped: Vec<f64> = weights
+        .iter()
+        .map(|w| if w.is_finite() { w.max(0.0) } else { 0.0 })
+        .collect();
     let sum: f64 = clamped.iter().sum();
     let quotas: Vec<f64> = if sum > 0.0 {
         clamped.iter().map(|w| f64::from(total) * w / sum).collect()
@@ -51,9 +60,7 @@ pub fn partition(total: u32, weights: &[f64]) -> Vec<u32> {
     remainder_order.sort_by(|&a, &b| {
         let fa = quotas[a] - quotas[a].floor();
         let fb = quotas[b] - quotas[b].floor();
-        fb.partial_cmp(&fa)
-            .expect("quota fractions are finite")
-            .then(a.cmp(&b))
+        fb.total_cmp(&fa).then(a.cmp(&b))
     });
     let mut leftover = total - assigned;
     for &i in &remainder_order {
@@ -127,12 +134,15 @@ impl EwmaAllocator {
     /// each peer at `1 / peers` — matching the paper's even initial
     /// allocation "similar to the Private mechanism".
     ///
+    /// An empty peer set is allowed (a single-node system has nobody to
+    /// exchange pads with); `end_interval` then returns an empty
+    /// allocation.
+    ///
     /// # Panics
     ///
-    /// Panics if `peers` is empty or the rates are outside `(0, 1]`.
+    /// Panics if the rates are outside `(0, 1]`.
     #[must_use]
     pub fn new(peers: &[NodeId], alpha: f64, beta: f64) -> Self {
-        assert!(!peers.is_empty(), "at least one peer required");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
         assert!(beta > 0.0 && beta <= 1.0, "beta in (0,1]");
         let n = peers.len();
@@ -197,6 +207,24 @@ impl EwmaAllocator {
         self.s
     }
 
+    /// Per-peer send weights `S^m_i` (Formula 3), in registration order.
+    #[must_use]
+    pub fn send_weights(&self) -> &[f64] {
+        &self.send_weights
+    }
+
+    /// Per-peer recv weights `R^m_i`, in registration order.
+    #[must_use]
+    pub fn recv_weights(&self) -> &[f64] {
+        &self.recv_weights
+    }
+
+    /// Peers in registration order (parallel to the weight slices).
+    #[must_use]
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
     /// Number of completed intervals.
     #[must_use]
     pub fn intervals(&self) -> u64 {
@@ -207,7 +235,17 @@ impl EwmaAllocator {
     /// counters, and returns the integer allocation of `total_buffers`
     /// (Formulas 2 and 4 with largest-remainder rounding, on the pool
     /// remaining above the per-peer floor).
+    ///
+    /// With no registered peers the allocation is trivially empty (and the
+    /// interval still counts) — previously this divided by `2 * n == 0`.
     pub fn end_interval(&mut self, total_buffers: u32) -> Allocation {
+        if self.peers.is_empty() {
+            self.intervals += 1;
+            return Allocation {
+                send: BTreeMap::new(),
+                recv: BTreeMap::new(),
+            };
+        }
         let send_total: u64 = self.send_counts.iter().sum();
         let recv_total: u64 = self.recv_counts.iter().sum();
 
@@ -419,6 +457,59 @@ mod tests {
     }
 
     #[test]
+    fn partition_sanitizes_non_finite_weights() {
+        // NaN and ±inf act like zero weight; the finite entries share.
+        assert_eq!(partition(8, &[f64::NAN, 1.0, f64::INFINITY]), vec![0, 8, 0]);
+        assert_eq!(partition(6, &[f64::NEG_INFINITY, 1.0, 1.0]), vec![0, 3, 3]);
+        // All non-finite -> even split, still conserved.
+        assert_eq!(
+            partition(7, &[f64::NAN, f64::INFINITY]).iter().sum::<u32>(),
+            7
+        );
+    }
+
+    #[test]
+    fn empty_peers_trivial_allocation() {
+        let mut m = EwmaAllocator::new(&[], 0.9, 0.5).with_floor(2);
+        let alloc = m.end_interval(32);
+        assert!(alloc.send.is_empty());
+        assert!(alloc.recv.is_empty());
+        assert_eq!(alloc.total(), 0);
+        assert_eq!(m.intervals(), 1);
+    }
+
+    #[test]
+    fn single_peer_gets_whole_pool() {
+        let mut m = EwmaAllocator::new(&[NodeId::gpu(2)], 0.9, 0.5);
+        for _ in 0..10 {
+            m.observe_send(NodeId::gpu(2));
+        }
+        let alloc = m.end_interval(32);
+        assert_eq!(alloc.total(), 32);
+        assert_eq!(
+            alloc.send[&NodeId::gpu(2)] + alloc.recv[&NodeId::gpu(2)],
+            32
+        );
+    }
+
+    #[test]
+    fn floor_clamped_when_pool_smaller_than_2n() {
+        // 4 peers, floor 8 -> full floors would need 64 pads; only 6
+        // available, so the floor clamps to 6 / 8 = 0 and the whole pool
+        // is EWMA-partitioned. The pool is still conserved exactly.
+        let p = peers();
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5).with_floor(8);
+        let alloc = m.end_interval(6);
+        assert_eq!(alloc.total(), 6);
+        // Clamped-floor boundary: exactly 2n pads -> floor 1 each.
+        let mut m = EwmaAllocator::new(&p, 0.9, 0.5).with_floor(8);
+        let alloc = m.end_interval(8);
+        assert_eq!(alloc.total(), 8);
+        assert!(alloc.send.values().all(|&a| a >= 1));
+        assert!(alloc.recv.values().all(|&a| a >= 1));
+    }
+
+    #[test]
     #[should_panic(expected = "registered")]
     fn unknown_peer_panics() {
         let mut m = EwmaAllocator::new(&[NodeId::CPU], 0.9, 0.5);
@@ -439,6 +530,26 @@ mod tests {
             #[test]
             fn partition_sum_invariant(total in 0u32..500,
                                        weights in proptest::collection::vec(0.0f64..10.0, 1..10)) {
+                let alloc = partition(total, &weights);
+                prop_assert_eq!(alloc.iter().sum::<u32>(), total);
+                prop_assert_eq!(alloc.len(), weights.len());
+            }
+
+            #[test]
+            fn partition_conserves_with_nonfinite_weights(
+                total in 0u32..500,
+                tagged in proptest::collection::vec((0u8..5, -10.0f64..10.0), 1..10)) {
+                // The vendored proptest stand-in has no prop_oneof, so
+                // non-finite values are injected by mapping a tag.
+                let weights: Vec<f64> = tagged
+                    .into_iter()
+                    .map(|(tag, w)| match tag {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => f64::NEG_INFINITY,
+                        _ => w,
+                    })
+                    .collect();
                 let alloc = partition(total, &weights);
                 prop_assert_eq!(alloc.iter().sum::<u32>(), total);
                 prop_assert_eq!(alloc.len(), weights.len());

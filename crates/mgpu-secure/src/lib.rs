@@ -57,4 +57,4 @@ pub mod schemes;
 
 pub use otp::{OtpStats, PadClass};
 pub use protocol::WireFormat;
-pub use schemes::{build_scheme, OtpScheme, SendOutcome};
+pub use schemes::{build_scheme, OtpScheme, SchemeTelemetry, SendOutcome};

@@ -13,7 +13,7 @@
 //! At kernel launch the allocation is even, "similar to the Private
 //! mechanism", and converges toward the observed communication pattern.
 
-use super::{OtpScheme, SendOutcome};
+use super::{OtpScheme, SchemeTelemetry, SendOutcome};
 use crate::ewma::EwmaAllocator;
 use crate::otp::{OtpStats, PadWindow};
 use mgpu_crypto::engine::{AesEngine, PadTiming};
@@ -144,6 +144,23 @@ impl OtpScheme for DynamicScheme {
 
     fn stats(&self) -> &OtpStats {
         &self.stats
+    }
+
+    fn telemetry(&self) -> Option<SchemeTelemetry> {
+        Some(SchemeTelemetry {
+            send_weight: self.monitor.send_weight(),
+            rebalances: self.rebalances,
+            send_depths: self
+                .send
+                .iter()
+                .map(|(&peer, w)| (peer, w.depth()))
+                .collect(),
+            recv_depths: self
+                .recv
+                .iter()
+                .map(|(&peer, w)| (peer, w.depth()))
+                .collect(),
+        })
     }
 }
 

@@ -26,6 +26,26 @@ pub use shared::SharedScheme;
 use crate::otp::OtpStats;
 use mgpu_crypto::engine::{AesEngine, PadTiming};
 use mgpu_types::{Cycle, NodeId, OtpSchemeKind, SystemConfig};
+use std::collections::BTreeMap;
+
+/// Interval-resolved internals of an adaptive scheme, exposed for
+/// observability sampling.
+///
+/// Only schemes with time-varying allocation state report telemetry; the
+/// static schemes return `None` from [`OtpScheme::telemetry`]. Reading
+/// telemetry must never mutate scheme state — collectors may sample at any
+/// cadence without perturbing timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeTelemetry {
+    /// Send-direction EWMA weight `S_i` (Formula 1).
+    pub send_weight: f64,
+    /// Completed re-allocation phases since construction.
+    pub rebalances: u64,
+    /// Current per-peer send-window depths (pads).
+    pub send_depths: BTreeMap<NodeId, u32>,
+    /// Current per-peer recv-window depths (pads).
+    pub recv_depths: BTreeMap<NodeId, u32>,
+}
 
 /// Result of preparing an outgoing protected block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +81,12 @@ pub trait OtpScheme {
 
     /// Accumulated hit/partial/miss statistics.
     fn stats(&self) -> &OtpStats;
+
+    /// Interval-resolved internals for observability sampling; `None` for
+    /// schemes without adaptive allocation state. Must not mutate state.
+    fn telemetry(&self) -> Option<SchemeTelemetry> {
+        None
+    }
 }
 
 /// Builds the scheme configured in `config` for node `me`.

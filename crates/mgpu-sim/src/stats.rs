@@ -196,6 +196,36 @@ pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
     Some((log_sum / samples.len() as f64).exp())
 }
 
+/// The `p`-th percentile (0–100) of `samples` by linear interpolation
+/// between closest ranks; `None` when empty or any sample is NaN.
+///
+/// Used by the observability layer to fold interval series (hit rates,
+/// queue depths) into summary statistics for `BENCH_repro.json`.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::stats::percentile;
+///
+/// assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+/// assert_eq!(percentile(&[1.0, 2.0], 100.0), Some(2.0));
+/// assert!(percentile(&[], 50.0).is_none());
+/// ```
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|s| s.is_nan()) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +315,15 @@ mod tests {
     fn geometric_mean_of_identical_values() {
         let g = geometric_mean(&[1.195, 1.195, 1.195]).unwrap();
         assert!((g - 1.195).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&s, 0.0), Some(10.0));
+        assert_eq!(percentile(&s, 100.0), Some(40.0));
+        assert_eq!(percentile(&s, 50.0), Some(25.0));
+        assert_eq!(percentile(&[7.0], 90.0), Some(7.0));
+        assert!(percentile(&[1.0, f64::NAN], 50.0).is_none());
     }
 }

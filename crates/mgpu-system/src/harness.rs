@@ -58,6 +58,10 @@ pub struct WireHarness {
     ack_timeout: Duration,
     open: BTreeMap<(NodeId, NodeId), OpenBatch>,
     seq: BTreeMap<(NodeId, NodeId), u64>,
+    /// When true, detections are additionally queued for the
+    /// observability trace (drained via [`WireHarness::take_trace`]).
+    tracing: bool,
+    trace: Vec<SecurityEvent>,
 }
 
 impl WireHarness {
@@ -92,7 +96,15 @@ impl WireHarness {
             ack_timeout: Duration::cycles(4 * config.link_latency.as_u64()),
             open: BTreeMap::new(),
             seq: BTreeMap::new(),
+            tracing: config.observability.enabled,
+            trace: Vec::new(),
         }
+    }
+
+    /// Drains detections queued since the last call (empty unless
+    /// observability is enabled for the run).
+    pub fn take_trace(&mut self) -> Vec<SecurityEvent> {
+        std::mem::take(&mut self.trace)
     }
 
     /// Consumes the harness, returning the accumulated event log.
@@ -127,13 +139,17 @@ impl WireHarness {
     }
 
     fn detect(&mut self, kind: FaultKind, src: NodeId, dst: NodeId, injected: Cycle, at: Cycle) {
-        self.log.record_detection(SecurityEvent {
+        let event = SecurityEvent {
             kind,
             src,
             dst,
             injected_at: injected,
             detected_at: at,
-        });
+        };
+        if self.tracing {
+            self.trace.push(event);
+        }
+        self.log.record_detection(event);
     }
 
     /// Flips one random bit of an 8-byte MAC.

@@ -36,9 +36,14 @@ pub mod node;
 pub mod pacing;
 pub mod runner;
 pub mod simulation;
+pub mod timeseries;
 
 pub use fabric::Fabric;
 pub use harness::WireHarness;
 pub use metrics::RunReport;
 pub use runner::{compare_schemes, normalized_time, SchemeResult};
 pub use simulation::Simulation;
+pub use timeseries::{
+    FabricSample, IntervalSample, TimeSeriesCollector, Timeline, TimelineSummary, TraceEvent,
+    TraceRecord,
+};

@@ -1,5 +1,6 @@
 //! Run metrics collected by the simulation.
 
+use crate::timeseries::Timeline;
 use mgpu_secure::adversary::SecurityEventLog;
 use mgpu_secure::OtpStats;
 use mgpu_sim::link::TrafficTotals;
@@ -44,33 +45,38 @@ pub struct RunReport {
     /// detections, misses, false positives, per-pair counts and
     /// time-to-detection. Empty when the adversary is disabled.
     pub security: SecurityEventLog,
+    /// Interval-resolved observability series; `None` unless
+    /// `config.observability.enabled` was set for the run.
+    pub timeline: Option<Timeline>,
 }
 
 impl RunReport {
     /// Execution time normalized to a baseline run (the paper's
     /// "normalized execution time"; > 1 means slower than baseline).
     ///
-    /// # Panics
-    ///
-    /// Panics if the baseline took zero cycles.
+    /// Returns `None` when the baseline took zero cycles (a degenerate
+    /// zero-request workload) — previously this panicked, so an empty
+    /// workload could never produce a comparison report.
     #[must_use]
-    pub fn normalized_time(&self, baseline: &RunReport) -> f64 {
+    pub fn normalized_time(&self, baseline: &RunReport) -> Option<f64> {
         let base = baseline.total_cycles.as_u64();
-        assert!(base > 0, "baseline run took zero cycles");
-        self.total_cycles.as_u64() as f64 / base as f64
+        if base == 0 {
+            return None;
+        }
+        Some(self.total_cycles.as_u64() as f64 / base as f64)
     }
 
     /// Total interconnect traffic normalized to a baseline run
     /// (the paper's Figs. 12/23).
     ///
-    /// # Panics
-    ///
-    /// Panics if the baseline moved zero bytes.
+    /// Returns `None` when the baseline moved zero bytes.
     #[must_use]
-    pub fn traffic_ratio(&self, baseline: &RunReport) -> f64 {
+    pub fn traffic_ratio(&self, baseline: &RunReport) -> Option<f64> {
         let base = baseline.traffic.total().as_u64();
-        assert!(base > 0, "baseline run moved no bytes");
-        self.traffic.total().as_u64() as f64 / base as f64
+        if base == 0 {
+            return None;
+        }
+        Some(self.traffic.total().as_u64() as f64 / base as f64)
     }
 
     /// Mean per-request latency in cycles.
@@ -121,6 +127,7 @@ mod tests {
             last_issue: Duration::cycles(0),
             tampered_crossings: 0,
             security: SecurityEventLog::default(),
+            timeline: None,
         }
     }
 
@@ -128,8 +135,8 @@ mod tests {
     fn normalization() {
         let base = report(1000, 640, 0);
         let secure = report(1195, 640, 230);
-        assert!((secure.normalized_time(&base) - 1.195).abs() < 1e-12);
-        assert!((secure.traffic_ratio(&base) - 870.0 / 640.0).abs() < 1e-12);
+        assert!((secure.normalized_time(&base).unwrap() - 1.195).abs() < 1e-12);
+        assert!((secure.traffic_ratio(&base).unwrap() - 870.0 / 640.0).abs() < 1e-12);
     }
 
     #[test]
@@ -141,10 +148,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero cycles")]
-    fn zero_baseline_panics() {
+    fn zero_baseline_yields_none() {
         let base = report(0, 640, 0);
         let secure = report(100, 640, 0);
-        let _ = secure.normalized_time(&base);
+        assert_eq!(secure.normalized_time(&base), None);
+        let mut no_bytes = report(100, 0, 0);
+        no_bytes.traffic = TrafficTotals::default();
+        assert_eq!(secure.traffic_ratio(&no_bytes), None);
     }
 }

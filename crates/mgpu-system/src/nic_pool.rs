@@ -132,6 +132,29 @@ impl NicPool {
         self.deferred.get_mut(&owner)?.pop_front()
     }
 
+    /// Advances every NIC's scheme to `now`, processing any pending
+    /// interval boundaries. Used by the observability sampler so interval
+    /// samples reflect the boundary allocation instead of lagging until
+    /// each node's next send/receive (timing-equivalent — see
+    /// [`crate::timeseries`]).
+    pub fn advance_all(&mut self, now: Cycle) {
+        for nic in self.nics.values_mut() {
+            nic.advance(now);
+        }
+    }
+
+    /// The NICs in ascending node order (observability sampling).
+    pub fn iter_nics(&self) -> impl Iterator<Item = (NodeId, &SecureNic)> {
+        self.nics.iter().map(|(&n, nic)| (n, nic))
+    }
+
+    /// Free replay-table entries at `node` (negative while trailer
+    /// flushes transiently overdraw).
+    #[must_use]
+    pub fn ack_free(&self, node: NodeId) -> i64 {
+        self.ack_free.get(&node).copied().unwrap_or(0)
+    }
+
     /// Aggregated OTP statistics, pads issued, and mean batch occupancy
     /// across the fleet.
     #[must_use]

@@ -10,7 +10,7 @@
 use mgpu_crypto::AesEngine;
 use mgpu_secure::batching::SenderBatcher;
 use mgpu_secure::protocol::WireFormat;
-use mgpu_secure::schemes::{build_scheme, OtpScheme};
+use mgpu_secure::schemes::{build_scheme, OtpScheme, SchemeTelemetry};
 use mgpu_sim::link::TrafficClass;
 use mgpu_types::{ByteSize, Cycle, Duration, NodeId, SystemConfig};
 use std::collections::BTreeMap;
@@ -218,6 +218,19 @@ impl SecureNic {
     /// Lets the scheme process interval boundaries during idle periods.
     pub fn advance(&mut self, now: Cycle) {
         self.scheme.advance(now, &mut self.engine);
+    }
+
+    /// The scheme's interval-resolved internals for observability
+    /// sampling; `None` for non-adaptive schemes.
+    #[must_use]
+    pub fn scheme_telemetry(&self) -> Option<SchemeTelemetry> {
+        self.scheme.telemetry()
+    }
+
+    /// Cumulative `(closed full, closed by flush)` batch counts.
+    #[must_use]
+    pub fn batch_closes(&self) -> (u64, u64) {
+        (self.batcher.closed_full(), self.batcher.closed_by_flush())
     }
 }
 

@@ -3,7 +3,9 @@
 
 use crate::metrics::RunReport;
 use crate::simulation::Simulation;
-use mgpu_types::{AdversaryConfig, OtpSchemeKind, SecurityConfig, SystemConfig};
+use mgpu_types::{
+    AdversaryConfig, ObservabilityConfig, OtpSchemeKind, SecurityConfig, SystemConfig,
+};
 use mgpu_workloads::Benchmark;
 
 /// One scheme's results on one benchmark, normalized to the unsecure
@@ -23,7 +25,8 @@ pub struct SchemeResult {
 }
 
 /// Runs `config` and its unsecure twin on `benchmark`, returning the
-/// normalized execution time.
+/// normalized execution time. A degenerate zero-cycle baseline (empty
+/// workload) normalizes to 1.0.
 ///
 /// # Examples
 ///
@@ -43,7 +46,7 @@ pub fn normalized_time(
     seed: u64,
 ) -> f64 {
     let (secure, baseline) = run_with_baseline(config, benchmark, per_gpu, seed);
-    secure.normalized_time(&baseline)
+    secure.normalized_time(&baseline).unwrap_or(1.0)
 }
 
 /// Runs `config` on `benchmark` together with the matching unsecure
@@ -65,11 +68,13 @@ pub fn run_with_baseline(
 }
 
 /// The parts of a configuration that determine the unsecure baseline:
-/// everything except the security layer and the adversary schedule.
+/// everything except the security layer, the adversary schedule and the
+/// (timing-neutral) observability settings.
 fn baseline_view(config: &SystemConfig) -> SystemConfig {
     let mut c = config.clone();
     c.security = SecurityConfig::default();
     c.adversary = AdversaryConfig::default();
+    c.observability = ObservabilityConfig::default();
     c
 }
 
@@ -119,8 +124,10 @@ pub fn compare_schemes(
             SchemeResult {
                 label: label.clone(),
                 benchmark,
-                normalized_time: report.normalized_time(&baseline),
-                traffic_ratio: report.traffic_ratio(&baseline),
+                // Degenerate zero-cycle / zero-byte baselines normalize
+                // to 1.0 rather than aborting the whole sweep.
+                normalized_time: report.normalized_time(&baseline).unwrap_or(1.0),
+                traffic_ratio: report.traffic_ratio(&baseline).unwrap_or(1.0),
                 report,
             }
         })

@@ -29,6 +29,7 @@ use crate::harness::WireHarness;
 use crate::metrics::RunReport;
 use crate::nic_pool::NicPool;
 use crate::pacing::{IssueDecision, IssuePacer};
+use crate::timeseries::TimeSeriesCollector;
 use mgpu_sim::dram::Hbm;
 use mgpu_sim::events::EventQueue;
 use mgpu_sim::link::TrafficClass;
@@ -102,6 +103,29 @@ enum Ev {
     FlushCheck(NodeId),
     /// A flushed batch's trailer arrived: the receiver ACKs it.
     TrailerAck { receiver: NodeId, owner: NodeId },
+    /// Observability boundary: sample the system state. Books no
+    /// resources and never affects timing; scheduled only when
+    /// `config.observability.enabled`.
+    Sample,
+}
+
+impl Ev {
+    /// Event-type label for the observability scope counters.
+    fn name(&self) -> &'static str {
+        match self {
+            Ev::TryIssue(_) => "TryIssue",
+            Ev::ReqArrive(_) => "ReqArrive",
+            Ev::DataReady(_) => "DataReady",
+            Ev::BlockEgress { .. } => "BlockEgress",
+            Ev::BlockIngress { .. } => "BlockIngress",
+            Ev::BlockRecv { .. } => "BlockRecv",
+            Ev::BlockDone { .. } => "BlockDone",
+            Ev::AckArrive(_) => "AckArrive",
+            Ev::FlushCheck(_) => "FlushCheck",
+            Ev::TrailerAck { .. } => "TrailerAck",
+            Ev::Sample => "Sample",
+        }
+    }
 }
 
 impl Simulation {
@@ -195,6 +219,16 @@ impl Simulation {
             events.schedule(Cycle::ZERO, Ev::TryIssue(node));
         }
 
+        // Observability is opt-in and zero-cost when off: every hook below
+        // is behind this Option. Sampling aligns with the repartition
+        // interval so each sample captures the just-applied allocation.
+        let sample_every = cfg.security.dynamic.interval;
+        let mut collector = (self.secure() && cfg.observability.enabled)
+            .then(|| TimeSeriesCollector::new(&cfg.observability, sample_every));
+        if collector.is_some() && !events.is_empty() {
+            events.schedule(Cycle::ZERO + sample_every, Ev::Sample);
+        }
+
         let mut pending: Vec<Pending> = Vec::new();
         let mut completion = Cycle::ZERO;
         let mut sum_latency = Duration::ZERO;
@@ -205,6 +239,9 @@ impl Simulation {
         let mut acks_sent = 0u64;
 
         while let Some((now, ev)) = events.pop() {
+            if let Some(col) = collector.as_mut() {
+                col.note_event(ev.name());
+            }
             match ev {
                 Ev::TryIssue(node) => match pacer.poll(node, now) {
                     IssueDecision::Drained | IssueDecision::Stalled => {
@@ -254,6 +291,11 @@ impl Simulation {
                     if self.secure() {
                         for _ in 0..blocks {
                             let prep = pool.prepare_send(owner, now, requester);
+                            if prep.acks && cfg.security.batching.enabled {
+                                if let Some(col) = collector.as_mut() {
+                                    col.record_batch_close(now, owner, true);
+                                }
+                            }
                             events.schedule(
                                 prep.ready,
                                 Ev::BlockEgress {
@@ -393,6 +435,9 @@ impl Simulation {
                 Ev::FlushCheck(owner) => {
                     let flushed = pool.flush_due(owner, now);
                     for (dst, mac_bytes) in flushed {
+                        if let Some(col) = collector.as_mut() {
+                            col.record_batch_close(now, owner, false);
+                        }
                         if let Some(h) = harness.as_mut() {
                             let tampered = h.on_flush(now, owner, dst);
                             if tampered > 0 {
@@ -433,6 +478,26 @@ impl Simulation {
                         events.schedule(now + cfg.link_latency, Ev::AckArrive(owner));
                     }
                 }
+                Ev::Sample => {
+                    let col = collector
+                        .as_mut()
+                        .expect("Sample only scheduled with collector");
+                    // Force interval processing at the boundary so the
+                    // sample reflects the boundary allocation (timing-
+                    // equivalent to the lazy path — see `timeseries`).
+                    pool.advance_all(now);
+                    if let Some(h) = harness.as_mut() {
+                        for ev in h.take_trace() {
+                            col.record_security_event(&ev);
+                        }
+                    }
+                    col.sample(now, &pool, &fabric);
+                    // Keep pace with the run, but never outlive it: a
+                    // Sample is never the only event left in the queue.
+                    if !events.is_empty() {
+                        events.schedule(now + sample_every, Ev::Sample);
+                    }
+                }
             }
         }
 
@@ -441,6 +506,9 @@ impl Simulation {
             for owner in pool.owners() {
                 let drained = pool.flush_all(owner);
                 for (dst, mac_bytes) in drained {
+                    if let Some(col) = collector.as_mut() {
+                        col.record_batch_close(completion, owner, false);
+                    }
                     if let Some(h) = harness.as_mut() {
                         let tampered = h.on_flush(completion, owner, dst);
                         if tampered > 0 {
@@ -473,6 +541,15 @@ impl Simulation {
             }
         }
 
+        // Detections after the last boundary sample still reach the trace.
+        if let Some(col) = collector.as_mut() {
+            if let Some(h) = harness.as_mut() {
+                for ev in h.take_trace() {
+                    col.record_security_event(&ev);
+                }
+            }
+        }
+
         let (otp, pads_issued, mean_batch_occupancy) = pool.otp_summary();
 
         RunReport {
@@ -491,6 +568,7 @@ impl Simulation {
             last_issue: last_issue.saturating_since(Cycle::ZERO),
             tampered_crossings: fabric.tampered_total(),
             security: harness.map(WireHarness::into_log).unwrap_or_default(),
+            timeline: collector.map(TimeSeriesCollector::finish),
         }
     }
 }

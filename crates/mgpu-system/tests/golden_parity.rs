@@ -10,7 +10,7 @@
 //! the code, do not re-capture the constants.
 
 use mgpu_system::runner::{compare_schemes, configs};
-use mgpu_types::{SystemConfig, TopologyKind};
+use mgpu_types::{ObservabilityConfig, SystemConfig, TopologyKind};
 use mgpu_workloads::Benchmark;
 
 /// (scheme label, benchmark, total cycles, total wire bytes).
@@ -29,18 +29,19 @@ const GOLDEN: &[(&str, Benchmark, u64, u64)] = &[
     ("batching-4x", Benchmark::Spmv, 3676, 79_275),
 ];
 
-#[test]
-fn fully_connected_reproduces_pre_fabric_timings_bit_for_bit() {
-    let base = SystemConfig::paper_4gpu();
-    assert_eq!(base.topology, TopologyKind::FullyConnected);
-    let cfgs = vec![
-        ("private-4x".to_string(), configs::private(&base, 4)),
-        ("private-16x".to_string(), configs::private(&base, 16)),
-        ("shared-4x".to_string(), configs::shared(&base, 4)),
-        ("cached-4x".to_string(), configs::cached(&base, 4)),
-        ("dynamic-4x".to_string(), configs::dynamic(&base, 4)),
-        ("batching-4x".to_string(), configs::batching(&base, 4)),
-    ];
+fn scheme_matrix(base: &SystemConfig) -> Vec<(String, SystemConfig)> {
+    vec![
+        ("private-4x".to_string(), configs::private(base, 4)),
+        ("private-16x".to_string(), configs::private(base, 16)),
+        ("shared-4x".to_string(), configs::shared(base, 4)),
+        ("cached-4x".to_string(), configs::cached(base, 4)),
+        ("dynamic-4x".to_string(), configs::dynamic(base, 4)),
+        ("batching-4x".to_string(), configs::batching(base, 4)),
+    ]
+}
+
+fn assert_matches_golden(base: &SystemConfig, context: &str) {
+    let cfgs = scheme_matrix(base);
     for bench in [Benchmark::MatrixTranspose, Benchmark::Spmv] {
         for r in compare_schemes(bench, &cfgs, 200, 42) {
             let (_, _, cycles, bytes) = *GOLDEN
@@ -50,15 +51,58 @@ fn fully_connected_reproduces_pre_fabric_timings_bit_for_bit() {
             assert_eq!(
                 r.report.total_cycles.as_u64(),
                 cycles,
-                "{} / {bench:?}: cycle drift",
+                "{context}: {} / {bench:?}: cycle drift",
                 r.label
             );
             assert_eq!(
                 r.report.traffic.total().as_u64(),
                 bytes,
-                "{} / {bench:?}: wire-byte drift",
+                "{context}: {} / {bench:?}: wire-byte drift",
                 r.label
             );
         }
     }
+}
+
+#[test]
+fn fully_connected_reproduces_pre_fabric_timings_bit_for_bit() {
+    let base = SystemConfig::paper_4gpu();
+    assert_eq!(base.topology, TopologyKind::FullyConnected);
+    assert!(!base.observability.enabled, "golden matrix runs unobserved");
+    assert_matches_golden(&base, "observability off");
+}
+
+/// Observability must be a pure observer: enabling it replays the exact
+/// golden matrix — same cycles, same wire bytes — while actually
+/// producing timelines. (`pads_issued` is intentionally excluded: eager
+/// boundary sampling may issue pads for trailing boundaries an idle
+/// node's lazy path never reaches; see `mgpu_system::timeseries`.)
+#[test]
+fn observability_enabled_changes_no_timing() {
+    let mut base = SystemConfig::paper_4gpu();
+    base.observability = ObservabilityConfig::enabled();
+    assert_matches_golden(&base, "observability on");
+
+    // And the observed runs really did collect interval series.
+    let cfgs = scheme_matrix(&base);
+    let results = compare_schemes(Benchmark::MatrixTranspose, &cfgs, 200, 42);
+    let dynamic = results
+        .iter()
+        .find(|r| r.label == "dynamic-4x")
+        .expect("dynamic cell present");
+    let timeline = dynamic
+        .report
+        .timeline
+        .as_ref()
+        .expect("observed run attaches a timeline");
+    assert!(
+        !timeline.samples.is_empty(),
+        "dynamic run spans interval boundaries"
+    );
+    assert!(
+        timeline.samples.iter().any(|s| s.rebalances > 0),
+        "dynamic scheme repartitioned during the run"
+    );
+    assert!(!timeline.fabric.is_empty());
+    assert!(timeline.scope_counts.contains_key("BlockDone"));
 }

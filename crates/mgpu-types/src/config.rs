@@ -275,6 +275,57 @@ impl AdversaryConfig {
     }
 }
 
+/// Observability (time-series collection) configuration.
+///
+/// When enabled, the simulation samples per-node allocator state, OTP
+/// hit/miss deltas, ACK-window depth and per-hop fabric counters at every
+/// repartition-interval boundary, and keeps a bounded ring buffer of
+/// protocol events. Collection is strictly passive: enabling it must not
+/// change any simulated timing (pinned by the golden parity tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObservabilityConfig {
+    /// Whether the time-series collector is active. Off by default: the
+    /// hot path then carries only a dead `Option` check.
+    pub enabled: bool,
+    /// Capacity of the protocol-event ring buffer. When full, the oldest
+    /// record is dropped (and counted) rather than growing without bound.
+    pub trace_capacity: u32,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            enabled: false,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+impl ObservabilityConfig {
+    /// Collection enabled with the default trace capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        ObservabilityConfig {
+            enabled: true,
+            ..ObservabilityConfig::default()
+        }
+    }
+
+    /// Validates the trace capacity (must be ≥ 1 when collection is on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if enabled with a zero-capacity trace.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.enabled && self.trace_capacity == 0 {
+            return Err(ConfigError::new(
+                "trace_capacity must be >= 1 when observability is enabled",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Security-layer configuration shared by all schemes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SecurityConfig {
@@ -352,6 +403,9 @@ pub struct SystemConfig {
     /// Wire-level adversary (fault-injection harness) configuration.
     /// Disabled by default; has no effect on unsecure runs.
     pub adversary: AdversaryConfig,
+    /// Time-series observability configuration. Disabled by default and
+    /// guaranteed timing-neutral when enabled.
+    pub observability: ObservabilityConfig,
 }
 
 impl Default for SystemConfig {
@@ -375,6 +429,7 @@ impl SystemConfig {
             max_outstanding: 128,
             security: SecurityConfig::default(),
             adversary: AdversaryConfig::default(),
+            observability: ObservabilityConfig::default(),
         }
     }
 
@@ -456,6 +511,7 @@ impl SystemConfig {
         self.security.dynamic.validate()?;
         self.security.batching.validate()?;
         self.adversary.validate()?;
+        self.observability.validate()?;
         Ok(())
     }
 }
@@ -562,6 +618,27 @@ mod tests {
         }
         .validate()
         .unwrap();
+    }
+
+    #[test]
+    fn observability_defaults_and_validation() {
+        let cfg = SystemConfig::paper_4gpu();
+        assert!(!cfg.observability.enabled);
+        assert!(cfg.observability.trace_capacity > 0);
+
+        let obs = ObservabilityConfig::enabled();
+        assert!(obs.enabled);
+        obs.validate().unwrap();
+
+        let mut bad = SystemConfig::paper_4gpu();
+        bad.observability = ObservabilityConfig {
+            enabled: true,
+            trace_capacity: 0,
+        };
+        assert!(bad.validate().is_err());
+        // A zero capacity is fine while collection is off.
+        bad.observability.enabled = false;
+        bad.validate().unwrap();
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod ids;
 pub mod units;
 
 pub use config::{
-    AdversaryConfig, BatchingConfig, DynamicConfig, OtpSchemeKind, SecurityConfig, SystemConfig,
-    TopologyKind,
+    AdversaryConfig, BatchingConfig, DynamicConfig, ObservabilityConfig, OtpSchemeKind,
+    SecurityConfig, SystemConfig, TopologyKind,
 };
 pub use error::{ConfigError, MgpuError};
 pub use ids::{Direction, NodeId, PairId};

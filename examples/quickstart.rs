@@ -35,11 +35,11 @@ fn main() {
     println!("secured time     : {}", secured.total_cycles);
     println!(
         "slowdown         : {:.1}%",
-        (secured.normalized_time(&baseline) - 1.0) * 100.0
+        (secured.normalized_time(&baseline).unwrap_or(1.0) - 1.0) * 100.0
     );
     println!(
         "traffic increase : {:.1}%",
-        (secured.traffic_ratio(&baseline) - 1.0) * 100.0
+        (secured.traffic_ratio(&baseline).unwrap_or(1.0) - 1.0) * 100.0
     );
     println!(
         "send pads hidden : {:.1}%",

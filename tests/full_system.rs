@@ -96,7 +96,11 @@ fn metadata_traffic_band_matches_paper() {
         Benchmark::Kmeans,
     ] {
         let (secure, baseline) = run_with_baseline(&base, bench, REQS, SEED);
-        ratios.push(secure.traffic_ratio(&baseline));
+        ratios.push(
+            secure
+                .traffic_ratio(&baseline)
+                .expect("non-empty workload moves baseline bytes"),
+        );
     }
     let g = geomean(&ratios);
     assert!(g > 1.25 && g < 1.5, "traffic ratio {g}");
@@ -132,7 +136,11 @@ fn overheads_grow_with_gpu_count() {
     ] {
         let private = configs::private(&cfg, 4);
         let (secure, baseline) = run_with_baseline(&private, bench, REQS, SEED);
-        degradations.push(secure.normalized_time(&baseline));
+        degradations.push(
+            secure
+                .normalized_time(&baseline)
+                .expect("non-empty workload takes baseline cycles"),
+        );
     }
     assert!(
         degradations[2] > degradations[0],
@@ -149,8 +157,10 @@ fn ours_beats_private_at_scale() {
     let bench = Benchmark::Spmv;
     let (private, baseline) = run_with_baseline(&configs::private(&cfg16, 4), bench, REQS, SEED);
     let (ours, _) = run_with_baseline(&configs::batching(&cfg16, 4), bench, REQS, SEED);
-    let p = private.normalized_time(&baseline);
-    let o = ours.normalized_time(&baseline);
+    let p = private
+        .normalized_time(&baseline)
+        .expect("non-zero baseline");
+    let o = ours.normalized_time(&baseline).expect("non-zero baseline");
     assert!(o < p, "ours {o} should beat private {p} at 16 GPUs");
 }
 
@@ -180,7 +190,11 @@ fn aes_latency_sensitivity_is_bounded_for_ours() {
         let mut times = Vec::new();
         for bench in suite {
             let (secure, baseline) = run_with_baseline(&cfg, bench, REQS, SEED);
-            times.push(secure.normalized_time(&baseline));
+            times.push(
+                secure
+                    .normalized_time(&baseline)
+                    .expect("non-zero baseline"),
+            );
         }
         geos.push(geomean(&times));
     }
