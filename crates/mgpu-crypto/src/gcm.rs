@@ -4,7 +4,7 @@
 //! The secure channel in `mgpu-secure` uses this for end-to-end functional
 //! validation: real ciphertexts, real tags, real tamper detection.
 
-use crate::aes::{Aes128, Block};
+use crate::aes::Aes128;
 use crate::ghash::{Ghash, GhashKey};
 
 /// Authentication tag length in bytes (full 128-bit tags).
@@ -66,20 +66,41 @@ impl AesGcm {
         block[12..16].copy_from_slice(&ctr.wrapping_add(1).to_be_bytes());
     }
 
-    /// CTR-mode encrypt/decrypt starting from counter block `icb`: the
-    /// counter blocks are laid out up front and encrypted in one bulk call.
-    fn ctr_xor(&self, icb: [u8; 16], data: &[u8]) -> Vec<u8> {
-        let mut counters: Vec<Block> = Vec::with_capacity(data.len().div_ceil(16));
+    /// Counter blocks encrypted per bulk call in [`AesGcm::ctr_xor_into`];
+    /// 16 blocks (256 B) comfortably covers the protocol's 64 B cachelines
+    /// in one call while keeping the scratch on the stack.
+    const CTR_CHUNK: usize = 16;
+
+    /// CTR-mode encrypt/decrypt starting from counter block `icb`, writing
+    /// the output into `out` (cleared first). Keystream blocks live in a
+    /// stack scratch, so the call performs no heap allocation once `out`
+    /// has capacity.
+    fn ctr_xor_into(&self, icb: [u8; 16], data: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(data.len());
         let mut cb = icb;
-        for _ in 0..data.len().div_ceil(16) {
-            counters.push(cb);
-            Self::inc32(&mut cb);
+        let mut chunk = [[0u8; 16]; Self::CTR_CHUNK];
+        for piece in data.chunks(16 * Self::CTR_CHUNK) {
+            let nblocks = piece.len().div_ceil(16);
+            for counter in chunk.iter_mut().take(nblocks) {
+                *counter = cb;
+                Self::inc32(&mut cb);
+            }
+            self.aes.encrypt_blocks(&mut chunk[..nblocks]);
+            out.extend(
+                piece
+                    .iter()
+                    .zip(chunk[..nblocks].iter().flatten())
+                    .map(|(d, k)| d ^ k),
+            );
         }
-        self.aes.encrypt_blocks(&mut counters);
-        data.iter()
-            .zip(counters.iter().flatten())
-            .map(|(d, k)| d ^ k)
-            .collect()
+    }
+
+    /// CTR-mode encrypt/decrypt starting from counter block `icb`.
+    fn ctr_xor(&self, icb: [u8; 16], data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        self.ctr_xor_into(icb, data, &mut out);
+        out
     }
 
     /// Computes the GCM tag over `aad` and `ciphertext`.
@@ -128,6 +149,75 @@ impl AesGcm {
         (ciphertext, tag)
     }
 
+    /// Buffer-reusing form of [`AesGcm::seal_detached`]: encrypts
+    /// `plaintext` into `ciphertext_out` (cleared first) and returns the
+    /// 16-byte tag. Performs no heap allocation once `ciphertext_out` has
+    /// capacity — the secure channel's steady-state send path.
+    pub fn seal_detached_into(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        plaintext: &[u8],
+        ciphertext_out: &mut Vec<u8>,
+    ) -> [u8; 16] {
+        let mut icb = Self::j0(nonce);
+        Self::inc32(&mut icb);
+        self.ctr_xor_into(icb, plaintext, ciphertext_out);
+        self.tag(nonce, aad, ciphertext_out)
+    }
+
+    /// Buffer-reusing form of [`AesGcm::decrypt_and_tag`]: decrypts
+    /// `ciphertext` into `plaintext_out` (cleared first) *unconditionally*
+    /// and returns the computed tag. Same lazy-verification contract as
+    /// [`AesGcm::decrypt_and_tag`]: callers MUST eventually compare the
+    /// tag against an authentic one.
+    pub fn decrypt_and_tag_into(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        ciphertext: &[u8],
+        plaintext_out: &mut Vec<u8>,
+    ) -> [u8; 16] {
+        let tag = self.tag(nonce, aad, ciphertext);
+        let mut icb = Self::j0(nonce);
+        Self::inc32(&mut icb);
+        self.ctr_xor_into(icb, ciphertext, plaintext_out);
+        tag
+    }
+
+    /// Buffer-reusing form of [`AesGcm::open_detached`]: verifies the
+    /// detached (possibly truncated) tag, then decrypts into
+    /// `plaintext_out` (cleared first; untouched on verification failure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMismatch`] under the same conditions as
+    /// [`AesGcm::open_detached`].
+    pub fn open_detached_into(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8],
+        plaintext_out: &mut Vec<u8>,
+    ) -> Result<(), TagMismatch> {
+        if tag.len() < 8 || tag.len() > TAG_LEN {
+            return Err(TagMismatch);
+        }
+        let expected = self.tag(nonce, aad, ciphertext);
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(TagMismatch);
+        }
+        let mut icb = Self::j0(nonce);
+        Self::inc32(&mut icb);
+        self.ctr_xor_into(icb, ciphertext, plaintext_out);
+        Ok(())
+    }
+
     /// Decrypts `ciphertext` *unconditionally* and returns the plaintext
     /// together with the computed tag, without verifying anything.
     ///
@@ -161,20 +251,9 @@ impl AesGcm {
         ciphertext: &[u8],
         tag: &[u8],
     ) -> Result<Vec<u8>, TagMismatch> {
-        if tag.len() < 8 || tag.len() > TAG_LEN {
-            return Err(TagMismatch);
-        }
-        let expected = self.tag(nonce, aad, ciphertext);
-        let mut diff = 0u8;
-        for (a, b) in expected.iter().zip(tag.iter()) {
-            diff |= a ^ b;
-        }
-        if diff != 0 {
-            return Err(TagMismatch);
-        }
-        let mut icb = Self::j0(nonce);
-        Self::inc32(&mut icb);
-        Ok(self.ctr_xor(icb, ciphertext))
+        let mut out = Vec::with_capacity(ciphertext.len());
+        self.open_detached_into(nonce, aad, ciphertext, tag, &mut out)?;
+        Ok(out)
     }
 
     /// Verifies and decrypts a sealed message.
@@ -357,6 +436,36 @@ mod tests {
         bad[3] ^= 0x10;
         let (_, computed_bad) = gcm.decrypt_and_tag(&[1u8; 12], b"", &bad);
         assert_ne!(computed_bad, tag);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let gcm = AesGcm::new(&[7u8; 16]);
+        let mut ct = Vec::new();
+        let mut pt = Vec::new();
+        // Reuse the same buffers across messages of different lengths.
+        for msg in [&b"short"[..], &[0xAB; 64][..], &[0x11; 200][..]] {
+            let tag = gcm.seal_detached_into(&[1u8; 12], b"aad", msg, &mut ct);
+            let (expect_ct, expect_tag) = gcm.seal_detached(&[1u8; 12], b"aad", msg);
+            assert_eq!(ct, expect_ct);
+            assert_eq!(tag, expect_tag);
+            let lazy_tag = gcm.decrypt_and_tag_into(&[1u8; 12], b"aad", &ct, &mut pt);
+            assert_eq!(pt, msg);
+            assert_eq!(lazy_tag, tag);
+            gcm.open_detached_into(&[1u8; 12], b"aad", &ct, &tag[..8], &mut pt)
+                .unwrap();
+            assert_eq!(pt, msg);
+        }
+        // Verification failure leaves the output untouched.
+        let tag = gcm.seal_detached_into(&[1u8; 12], b"", b"payload", &mut ct);
+        ct[0] ^= 1;
+        pt.clear();
+        pt.extend_from_slice(b"sentinel");
+        assert_eq!(
+            gcm.open_detached_into(&[1u8; 12], b"", &ct, &tag, &mut pt),
+            Err(TagMismatch)
+        );
+        assert_eq!(pt, b"sentinel");
     }
 
     #[test]

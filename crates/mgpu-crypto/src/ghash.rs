@@ -228,7 +228,11 @@ impl GhashKey {
 pub struct Ghash {
     key: GhashKey,
     y: Gf128,
-    buffer: Vec<u8>,
+    /// Pending partial block. Never exceeds 15 bytes: full blocks are
+    /// absorbed straight from the input slice, so hashing allocates
+    /// nothing.
+    buf: [u8; 16],
+    buf_len: usize,
 }
 
 impl Ghash {
@@ -248,30 +252,45 @@ impl Ghash {
         Ghash {
             key,
             y: Gf128::ZERO,
-            buffer: Vec::new(),
+            buf: [0u8; 16],
+            buf_len: 0,
         }
     }
 
     /// Absorbs bytes; data is processed in 16-byte blocks, zero-padded at
     /// block boundaries internally.
     pub fn update(&mut self, data: &[u8]) {
-        self.buffer.extend_from_slice(data);
-        while self.buffer.len() >= 16 {
-            let block: [u8; 16] = self.buffer[..16].try_into().expect("16 bytes");
-            self.absorb_block(block);
-            self.buffer.drain(..16);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.absorb_block(block);
+                self.buf_len = 0;
+            }
         }
+        let mut chunks = data.chunks_exact(16);
+        for chunk in chunks.by_ref() {
+            let block: [u8; 16] = chunk.try_into().expect("16 bytes");
+            self.absorb_block(block);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
     }
 
     /// Pads the pending partial block with zeros and absorbs it, aligning
     /// the state to a block boundary (used between the AAD and ciphertext
     /// sections of GCM).
     pub fn pad_to_block(&mut self) {
-        if !self.buffer.is_empty() {
+        if self.buf_len > 0 {
             let mut block = [0u8; 16];
-            block[..self.buffer.len()].copy_from_slice(&self.buffer);
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
             self.absorb_block(block);
-            self.buffer.clear();
+            self.buf_len = 0;
         }
     }
 

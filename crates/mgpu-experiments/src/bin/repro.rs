@@ -10,12 +10,20 @@
 //! records are attributable), and the run mode, so performance can be
 //! tracked across commits. When the `timeline` experiment is among the
 //! run ids, the record also carries an `observability` block with the
-//! timeline's summary percentiles. The full schema is documented in
-//! `EXPERIMENTS.md`.
+//! timeline's summary percentiles. Every record carries an `engine` block
+//! (events/sec over a fixed, never-cached calibration cell) so raw engine
+//! throughput is tracked alongside suite wall-clock. Emitting a record
+//! from a dirty tree prints a loud warning: its timings are not
+//! attributable to the recorded revision. The full schema is documented
+//! in `EXPERIMENTS.md`.
 
 use mgpu_experiments::common::cache_counters;
 use mgpu_experiments::{find, registry, timeline, Mode};
+use mgpu_system::runner::configs;
 use mgpu_system::timeseries::TimelineSummary;
+use mgpu_system::Simulation;
+use mgpu_types::SystemConfig;
+use mgpu_workloads::Benchmark;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,6 +35,31 @@ struct Timing {
     seconds: f64,
     cache_hits: u64,
     cache_misses: u64,
+}
+
+/// Engine-throughput calibration: one fixed simulation cell timed fresh
+/// (never cached), so `events_per_sec` is comparable across commits and
+/// modes.
+struct EngineThroughput {
+    events_processed: u64,
+    seconds: f64,
+    events_per_sec: f64,
+}
+
+/// Runs the calibration cell — the 4-GPU batching matrix transpose at 400
+/// requests, the shape fig25 leans on hardest — and derives events/sec
+/// from the engine's popped-event count.
+fn measure_engine_throughput() -> EngineThroughput {
+    let cfg = configs::batching(&SystemConfig::paper_4gpu(), 4);
+    let sim = Simulation::new(cfg, Benchmark::MatrixTranspose, 42);
+    let started = std::time::Instant::now();
+    let report = sim.run_for_requests(400);
+    let seconds = started.elapsed().as_secs_f64();
+    EngineThroughput {
+        events_processed: report.events_processed,
+        seconds,
+        events_per_sec: report.events_processed as f64 / seconds.max(f64::EPSILON),
+    }
 }
 
 fn usage() -> ExitCode {
@@ -104,6 +137,7 @@ fn bench_json(
     timings: &[Timing],
     total_seconds: f64,
     observability: Option<&TimelineSummary>,
+    engine: &EngineThroughput,
 ) -> String {
     let mode_name = match mode {
         Mode::Full => "full",
@@ -121,6 +155,11 @@ fn bench_json(
     ));
     out.push_str(&format!("  \"mode\": \"{mode_name}\",\n"));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
+    out.push_str(&format!(
+        "  \"engine\": {{\"events_per_sec\": {:.0}, \"events_processed\": {}, \
+         \"cell_seconds\": {:.6}}},\n",
+        engine.events_per_sec, engine.events_processed, engine.seconds,
+    ));
     if let Some(s) = observability {
         out.push_str(&format!(
             "  \"observability\": {{\"intervals\": {}, \"trace_events\": {}, \
@@ -235,7 +274,18 @@ fn main() -> ExitCode {
         .iter()
         .any(|id| id == "timeline")
         .then(|| timeline::summary(mode));
-    let record = bench_json(mode, &timings, total_seconds, observability.as_ref());
+    let engine = measure_engine_throughput();
+    eprintln!(
+        "engine throughput: {:.0} events/sec ({} events in {:.3}s)",
+        engine.events_per_sec, engine.events_processed, engine.seconds
+    );
+    let record = bench_json(
+        mode,
+        &timings,
+        total_seconds,
+        observability.as_ref(),
+        &engine,
+    );
     if let Err(err) = std::fs::write(&bench_json_path, record) {
         eprintln!(
             "failed to write benchmark record {}: {err}",
@@ -244,5 +294,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", bench_json_path.display());
+    if git_dirty() == Some(true) {
+        eprintln!("==============================================================");
+        eprintln!("WARNING: the working tree has uncommitted changes, so this");
+        eprintln!("benchmark record carries \"git_dirty\": true. Its timings are");
+        eprintln!(
+            "not attributable to commit {} — do not check it in;",
+            git_rev()
+        );
+        eprintln!("regenerate from a clean tree first.");
+        eprintln!("==============================================================");
+    }
     ExitCode::SUCCESS
 }

@@ -14,8 +14,7 @@
 //! recomputed in order and compared. The storage is bounded (paper §IV-D:
 //! `max(16, 64) × peers × 8 B = 2 KB` per GPU).
 
-use mgpu_types::{Cycle, Duration, MgpuError, NodeId};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Duration, MgpuError, NodeId};
 
 /// A per-block message authentication code (8 B on the wire, §IV-D).
 pub type MsgMac = [u8; 8];
@@ -93,8 +92,8 @@ struct OpenBatch {
 pub struct SenderBatcher {
     batch_size: u32,
     flush_timeout: Duration,
-    open: BTreeMap<NodeId, OpenBatch>,
-    next_id: BTreeMap<NodeId, BatchId>,
+    open: DenseNodeMap<OpenBatch>,
+    next_id: DenseNodeMap<BatchId>,
     closed_full: u64,
     closed_flush: u64,
     blocks: u64,
@@ -119,8 +118,8 @@ impl SenderBatcher {
         SenderBatcher {
             batch_size,
             flush_timeout,
-            open: BTreeMap::new(),
-            next_id: BTreeMap::new(),
+            open: DenseNodeMap::new(),
+            next_id: DenseNodeMap::new(),
             closed_full: 0,
             closed_flush: 0,
             blocks: 0,
@@ -128,7 +127,7 @@ impl SenderBatcher {
     }
 
     fn take_id(&mut self, dst: NodeId) -> BatchId {
-        let id = self.next_id.entry(dst).or_insert(0);
+        let id = self.next_id.get_or_insert_with(dst, || 0);
         let out = *id;
         *id += 1;
         out
@@ -138,7 +137,7 @@ impl SenderBatcher {
     /// closed batch if this block completed it.
     pub fn add_block(&mut self, now: Cycle, dst: NodeId, mac: MsgMac) -> Option<ClosedBatch> {
         self.blocks += 1;
-        if !self.open.contains_key(&dst) {
+        if !self.open.contains_key(dst) {
             let id = self.take_id(dst);
             self.open.insert(
                 dst,
@@ -149,10 +148,10 @@ impl SenderBatcher {
                 },
             );
         }
-        let batch = self.open.get_mut(&dst).expect("just inserted");
+        let batch = self.open.get_mut(dst).expect("just inserted");
         batch.macs.push(mac);
         if batch.macs.len() as u32 >= self.batch_size {
-            let batch = self.open.remove(&dst).expect("present");
+            let batch = self.open.remove(dst).expect("present");
             self.closed_full += 1;
             Some(ClosedBatch {
                 dst,
@@ -171,9 +170,9 @@ impl SenderBatcher {
     /// [`add_block`]: SenderBatcher::add_block
     #[must_use]
     pub fn peek_slot(&self, dst: NodeId) -> (BatchId, u32) {
-        match self.open.get(&dst) {
+        match self.open.get(dst) {
             Some(b) => (b.id, b.macs.len() as u32),
-            None => (self.next_id.get(&dst).copied().unwrap_or(0), 0),
+            None => (self.next_id.get(dst).copied().unwrap_or(0), 0),
         }
     }
 
@@ -182,7 +181,7 @@ impl SenderBatcher {
     ///
     /// [`flush_all`]: SenderBatcher::flush_all
     pub fn flush_dst(&mut self, dst: NodeId) -> Option<ClosedBatch> {
-        self.open.remove(&dst).map(|b| {
+        self.open.remove(dst).map(|b| {
             self.closed_flush += 1;
             ClosedBatch {
                 dst,
@@ -205,11 +204,11 @@ impl SenderBatcher {
             .open
             .iter()
             .filter(|(_, b)| now.saturating_since(b.opened_at) >= self.flush_timeout)
-            .map(|(&dst, _)| dst)
+            .map(|(dst, _)| dst)
             .collect();
         due.into_iter()
             .map(|dst| {
-                let b = self.open.remove(&dst).expect("present");
+                let b = self.open.remove(dst).expect("present");
                 self.closed_flush += 1;
                 ClosedBatch {
                     dst,
@@ -222,10 +221,10 @@ impl SenderBatcher {
 
     /// Forces every open batch closed (end of workload drain).
     pub fn flush_all(&mut self) -> Vec<ClosedBatch> {
-        let dsts: Vec<NodeId> = self.open.keys().copied().collect();
+        let dsts: Vec<NodeId> = self.open.keys().collect();
         dsts.into_iter()
             .map(|dst| {
-                let b = self.open.remove(&dst).expect("present");
+                let b = self.open.remove(dst).expect("present");
                 self.closed_flush += 1;
                 ClosedBatch {
                     dst,
@@ -300,12 +299,31 @@ impl SenderBatcher {
 #[derive(Debug)]
 pub struct MacStorage {
     capacity_macs: usize,
-    slots: BTreeMap<(NodeId, BatchId), BTreeMap<u32, MsgMac>>,
+    /// Per-sender list of in-flight batches. A sender rarely has more than
+    /// one or two batches outstanding, so linear search beats tree lookup.
+    slots: DenseNodeMap<Vec<BatchSlot>>,
+    /// Retired per-batch MAC vectors, reused so steady-state verification
+    /// does not allocate.
+    spare: Vec<Vec<(u32, MsgMac)>>,
+    /// Reusable buffer for the ordered concatenation handed to `verify`.
+    concat_scratch: Vec<u8>,
     stored: usize,
     peak: usize,
     verified_batches: u64,
     rejected_completions: u64,
 }
+
+#[derive(Debug)]
+struct BatchSlot {
+    batch: BatchId,
+    /// `(index, MAC)` entries kept sorted by index, so completion reads
+    /// them in order without building an intermediate map.
+    macs: Vec<(u32, MsgMac)>,
+}
+
+/// Ceiling on retired MAC vectors kept for reuse — bounds the pool while
+/// still covering every concurrently open batch in practice.
+const SPARE_SLOT_POOL: usize = 64;
 
 impl MacStorage {
     /// Creates storage bounded to `capacity_macs` in-flight MACs (paper:
@@ -314,12 +332,26 @@ impl MacStorage {
     pub fn new(capacity_macs: usize) -> Self {
         MacStorage {
             capacity_macs,
-            slots: BTreeMap::new(),
+            slots: DenseNodeMap::new(),
+            spare: Vec::new(),
+            concat_scratch: Vec::new(),
             stored: 0,
             peak: 0,
             verified_batches: 0,
             rejected_completions: 0,
         }
+    }
+
+    /// Retires a finished slot's MAC vector into the reuse pool.
+    fn retire(&mut self, slot: BatchSlot) -> usize {
+        let freed = slot.macs.len();
+        self.stored -= freed;
+        if self.spare.len() < SPARE_SLOT_POOL {
+            let mut macs = slot.macs;
+            macs.clear();
+            self.spare.push(macs);
+        }
+        freed
     }
 
     /// Stores the recomputed MAC of block `index` of `(src, batch)`.
@@ -341,13 +373,23 @@ impl MacStorage {
                 self.capacity_macs
             )));
         }
-        let slot = self.slots.entry((src, batch)).or_default();
-        if slot.contains_key(&index) {
-            return Err(MgpuError::Protocol(format!(
-                "duplicate block {index} in batch {batch} from {src}"
-            )));
+        let list = self.slots.get_or_insert_with(src, Vec::new);
+        let slot = match list.iter().position(|s| s.batch == batch) {
+            Some(pos) => &mut list[pos],
+            None => {
+                let macs = self.spare.pop().unwrap_or_default();
+                list.push(BatchSlot { batch, macs });
+                list.last_mut().expect("just pushed")
+            }
+        };
+        match slot.macs.binary_search_by_key(&index, |e| e.0) {
+            Ok(_) => {
+                return Err(MgpuError::Protocol(format!(
+                    "duplicate block {index} in batch {batch} from {src}"
+                )));
+            }
+            Err(pos) => slot.macs.insert(pos, (index, mac)),
         }
-        slot.insert(index, mac);
         self.stored += 1;
         self.peak = self.peak.max(self.stored);
         Ok(())
@@ -356,7 +398,10 @@ impl MacStorage {
     /// Number of blocks currently stored for `(src, batch)`.
     #[must_use]
     pub fn pending(&self, src: NodeId, batch: BatchId) -> usize {
-        self.slots.get(&(src, batch)).map_or(0, BTreeMap::len)
+        self.slots
+            .get(src)
+            .and_then(|list| list.iter().find(|s| s.batch == batch))
+            .map_or(0, |s| s.macs.len())
     }
 
     /// Completes a batch: checks that exactly `expected_len` consecutive
@@ -390,22 +435,38 @@ impl MacStorage {
     where
         F: FnOnce(&[u8]) -> bool,
     {
-        let slot = self
+        let pos = self
             .slots
-            .get(&(src, batch))
+            .get(src)
+            .and_then(|list| list.iter().position(|s| s.batch == batch))
             .ok_or_else(|| MgpuError::Protocol(format!("unknown batch {batch} from {src}")))?;
-        if slot.len() as u32 != expected_len || !(0..expected_len).all(|i| slot.contains_key(&i)) {
+        let slot = &self.slots.get(src).expect("position implies list")[pos];
+        // Entries are sorted and duplicate-free, so the slot holds exactly
+        // the blocks `0..expected_len` iff the count matches and the
+        // endpoints are 0 and expected_len - 1.
+        let count = slot.macs.len() as u32;
+        let contiguous = count == expected_len
+            && slot.macs.first().is_none_or(|e| e.0 == 0)
+            && slot.macs.last().is_none_or(|e| e.0 + 1 == expected_len);
+        if !contiguous {
             self.rejected_completions += 1;
             return Err(MgpuError::Protocol(format!(
-                "batch {batch} from {src}: expected blocks 0..{expected_len}, got {}",
-                slot.len()
+                "batch {batch} from {src}: expected blocks 0..{expected_len}, got {count}"
             )));
         }
-        let ordered: Vec<MsgMac> = (0..expected_len).map(|i| slot[&i]).collect();
-        let ok = verify(&concat_macs(&ordered));
+        self.concat_scratch.clear();
+        let slot = &self.slots.get(src).expect("checked above")[pos];
+        for (_, mac) in &slot.macs {
+            self.concat_scratch.extend_from_slice(mac);
+        }
+        let ok = verify(&self.concat_scratch);
         if ok {
-            let slot = self.slots.remove(&(src, batch)).expect("checked above");
-            self.stored -= slot.len();
+            let slot = self
+                .slots
+                .get_mut(src)
+                .expect("checked above")
+                .swap_remove(pos);
+            self.retire(slot);
             self.verified_batches += 1;
         } else {
             self.rejected_completions += 1;
@@ -417,9 +478,14 @@ impl MacStorage {
     /// MACs were freed. Recovery path after a batch provably cannot verify
     /// (e.g. tampered blocks that the sender will retransmit).
     pub fn discard(&mut self, src: NodeId, batch: BatchId) -> usize {
-        let freed = self.slots.remove(&(src, batch)).map_or(0, |s| s.len());
-        self.stored -= freed;
-        freed
+        let Some(list) = self.slots.get_mut(src) else {
+            return 0;
+        };
+        let Some(pos) = list.iter().position(|s| s.batch == batch) else {
+            return 0;
+        };
+        let slot = list.swap_remove(pos);
+        self.retire(slot)
     }
 
     /// High-water mark of stored MACs (for the paper's 2 KB sizing check).

@@ -7,13 +7,12 @@
 //! from-scratch crypto. Integration tests and the `secure_channel` example
 //! drive attacks (bit flips, replays, reordering) against it.
 
-use crate::batching::{concat_macs, BatchId, ClosedBatch, MacStorage, MsgMac, SenderBatcher};
+use crate::batching::{BatchId, ClosedBatch, MacStorage, MsgMac, SenderBatcher};
 use crate::key_exchange::KeyExchange;
 use crate::replay::ReplayGuard;
 use mgpu_crypto::pad::PadSeed;
 use mgpu_crypto::AesGcm;
-use mgpu_types::{Cycle, Duration, MgpuError, NodeId};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Duration, MgpuError, NodeId};
 
 /// Payload size of one protected block (a 64 B cacheline).
 pub const BLOCK_SIZE: usize = 64;
@@ -91,15 +90,20 @@ pub struct Ack {
 #[derive(Debug)]
 pub struct Endpoint {
     id: NodeId,
-    gcm: BTreeMap<NodeId, AesGcm>,
-    send_ctr: BTreeMap<NodeId, u64>,
+    gcm: DenseNodeMap<AesGcm>,
+    send_ctr: DenseNodeMap<u64>,
     guard: ReplayGuard,
     batcher: SenderBatcher,
     storage: MacStorage,
-    /// Trailers that arrived before all of their blocks did.
-    early_trailers: BTreeMap<(NodeId, BatchId), BatchTrailer>,
+    /// Trailers that arrived before all of their blocks did, listed per
+    /// sender (at most a handful in flight, so linear search by batch id).
+    early_trailers: DenseNodeMap<Vec<BatchTrailer>>,
     /// Highest batch id accepted per sender (trailer replay protection).
-    last_batch: BTreeMap<NodeId, BatchId>,
+    last_batch: DenseNodeMap<BatchId>,
+    /// Reusable ciphertext buffer for batched-MAC recomputation.
+    scratch_ct: Vec<u8>,
+    /// Reusable buffer for ordered MAC concatenations.
+    scratch_concat: Vec<u8>,
 }
 
 impl Endpoint {
@@ -107,19 +111,21 @@ impl Endpoint {
     /// GPUs, deriving session keys for every peer from the boot exchange.
     #[must_use]
     pub fn new(id: NodeId, gpu_count: u16, kx: &KeyExchange) -> Self {
-        let mut gcm = BTreeMap::new();
+        let mut gcm = DenseNodeMap::with_gpu_count(gpu_count);
         for peer in id.peers(gpu_count) {
             gcm.insert(peer, AesGcm::new(&kx.pair_key(id, peer)));
         }
         Endpoint {
             id,
             gcm,
-            send_ctr: BTreeMap::new(),
+            send_ctr: DenseNodeMap::with_gpu_count(gpu_count),
             guard: ReplayGuard::new(),
             batcher: SenderBatcher::new(16, Duration::cycles(160)),
             storage: MacStorage::new(64 * gpu_count as usize),
-            early_trailers: BTreeMap::new(),
-            last_batch: BTreeMap::new(),
+            early_trailers: DenseNodeMap::with_gpu_count(gpu_count),
+            last_batch: DenseNodeMap::with_gpu_count(gpu_count),
+            scratch_ct: Vec::new(),
+            scratch_concat: Vec::new(),
         }
     }
 
@@ -148,11 +154,11 @@ impl Endpoint {
     }
 
     fn gcm_for(&self, peer: NodeId) -> &AesGcm {
-        self.gcm.get(&peer).expect("peer within system")
+        self.gcm.get(peer).expect("peer within system")
     }
 
     fn next_ctr(&mut self, peer: NodeId) -> u64 {
-        let ctr = self.send_ctr.entry(peer).or_insert(0);
+        let ctr = self.send_ctr.get_or_insert_with(peer, || 0);
         let out = *ctr;
         *ctr += 1;
         out
@@ -165,20 +171,41 @@ impl Endpoint {
     /// Seals one unbatched block for `peer`: encrypt, MAC, register the
     /// outstanding `(counter, MAC)` for replay protection.
     pub fn seal_block(&mut self, peer: NodeId, block: &[u8; BLOCK_SIZE]) -> WireBlock {
+        let mut wire = WireBlock {
+            sender: self.id,
+            receiver: peer,
+            counter: 0,
+            ciphertext: Vec::new(),
+            mac: None,
+            batch: None,
+        };
+        self.seal_block_into(peer, block, &mut wire);
+        wire
+    }
+
+    /// [`seal_block`] writing into a caller-owned [`WireBlock`], reusing
+    /// its ciphertext buffer — the steady-state send path allocates nothing
+    /// once the buffer has reached block size.
+    ///
+    /// [`seal_block`]: Endpoint::seal_block
+    pub fn seal_block_into(
+        &mut self,
+        peer: NodeId,
+        block: &[u8; BLOCK_SIZE],
+        wire: &mut WireBlock,
+    ) {
         let counter = self.next_ctr(peer);
         let nonce = PadSeed::new(self.id.raw(), peer.raw(), counter).to_nonce();
         let aad = Self::aad(self.id, peer, counter);
-        let (ciphertext, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, block);
+        let gcm = self.gcm.get(peer).expect("peer within system");
+        let tag = gcm.seal_detached_into(&nonce, &aad, block, &mut wire.ciphertext);
         let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
         self.guard.register_outstanding(peer, counter, mac);
-        WireBlock {
-            sender: self.id,
-            receiver: peer,
-            counter,
-            ciphertext,
-            mac: Some(mac),
-            batch: None,
-        }
+        wire.sender = self.id;
+        wire.receiver = peer;
+        wire.counter = counter;
+        wire.mac = Some(mac);
+        wire.batch = None;
     }
 
     /// Opens one unbatched block: freshness check, verify MAC, decrypt,
@@ -191,6 +218,25 @@ impl Endpoint {
     /// * [`MgpuError::Protocol`] — the block claims batch membership or
     ///   carries no MAC.
     pub fn open_block(&mut self, wire: &WireBlock) -> Result<(Vec<u8>, Ack), MgpuError> {
+        let mut plaintext = Vec::new();
+        let ack = self.open_block_into(wire, &mut plaintext)?;
+        Ok((plaintext, ack))
+    }
+
+    /// [`open_block`] decrypting into a caller-owned buffer, reusing its
+    /// allocation. On error the buffer's contents are unspecified and must
+    /// not be used.
+    ///
+    /// # Errors
+    ///
+    /// See [`open_block`].
+    ///
+    /// [`open_block`]: Endpoint::open_block
+    pub fn open_block_into(
+        &mut self,
+        wire: &WireBlock,
+        plaintext: &mut Vec<u8>,
+    ) -> Result<Ack, MgpuError> {
         if wire.batch.is_some() {
             return Err(MgpuError::Protocol(
                 "batched block passed to open_block; use open_batched_block".into(),
@@ -204,9 +250,8 @@ impl Endpoint {
         // Verify first, record freshness second: a forged message must not
         // burn the counter it claims, or an attacker could block the
         // genuine message by sending garbage ahead of it.
-        let plaintext = self
-            .gcm_for(wire.sender)
-            .open_detached(&nonce, &aad, &wire.ciphertext, &mac)
+        self.gcm_for(wire.sender)
+            .open_detached_into(&nonce, &aad, &wire.ciphertext, &mac, plaintext)
             .map_err(|_| MgpuError::AuthenticationFailed {
                 context: format!(
                     "block MAC mismatch from {} at counter {}",
@@ -214,14 +259,11 @@ impl Endpoint {
                 ),
             })?;
         self.guard.check_fresh(wire.sender, wire.counter)?;
-        Ok((
-            plaintext,
-            Ack {
-                from: self.id,
-                counter: wire.counter,
-                mac,
-            },
-        ))
+        Ok(Ack {
+            from: self.id,
+            counter: wire.counter,
+            mac,
+        })
     }
 
     /// Seals one block for `peer` into the currently open batch: the
@@ -238,11 +280,34 @@ impl Endpoint {
         peer: NodeId,
         block: &[u8; BLOCK_SIZE],
     ) -> (WireBlock, Option<BatchTrailer>) {
+        let mut wire = WireBlock {
+            sender: self.id,
+            receiver: peer,
+            counter: 0,
+            ciphertext: Vec::new(),
+            mac: None,
+            batch: None,
+        };
+        let trailer = self.seal_batched_block_into(peer, block, &mut wire);
+        (wire, trailer)
+    }
+
+    /// [`seal_batched_block`] writing into a caller-owned [`WireBlock`],
+    /// reusing its ciphertext buffer.
+    ///
+    /// [`seal_batched_block`]: Endpoint::seal_batched_block
+    pub fn seal_batched_block_into(
+        &mut self,
+        peer: NodeId,
+        block: &[u8; BLOCK_SIZE],
+        wire: &mut WireBlock,
+    ) -> Option<BatchTrailer> {
         let (batch_id, index) = self.batcher.peek_slot(peer);
         let counter = self.next_ctr(peer);
         let nonce = PadSeed::new(self.id.raw(), peer.raw(), counter).to_nonce();
         let aad = Self::aad(self.id, peer, counter);
-        let (ciphertext, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, block);
+        let gcm = self.gcm.get(peer).expect("peer within system");
+        let tag = gcm.seal_detached_into(&nonce, &aad, block, &mut wire.ciphertext);
         let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
         // Functional path: timing is modelled elsewhere, so batches close
         // on size here and on explicit `flush_batch` calls, never on the
@@ -251,17 +316,12 @@ impl Endpoint {
             .batcher
             .add_block(Cycle::ZERO, peer, mac)
             .map(|closed| self.close_batch(peer, &closed));
-        (
-            WireBlock {
-                sender: self.id,
-                receiver: peer,
-                counter,
-                ciphertext,
-                mac: None,
-                batch: Some((batch_id, index)),
-            },
-            trailer,
-        )
+        wire.sender = self.id;
+        wire.receiver = peer;
+        wire.counter = counter;
+        wire.mac = None;
+        wire.batch = Some((batch_id, index));
+        trailer
     }
 
     /// Closes the open batch towards `peer` (timeout flush), returning its
@@ -275,7 +335,19 @@ impl Endpoint {
 
     /// Registers a closed batch as outstanding and builds its trailer.
     fn close_batch(&mut self, peer: NodeId, closed: &ClosedBatch) -> BatchTrailer {
-        let mac = self.batched_mac(peer, closed.id, &concat_macs(&closed.macs));
+        self.scratch_concat.clear();
+        for mac in &closed.macs {
+            self.scratch_concat.extend_from_slice(mac);
+        }
+        let gcm = self.gcm.get(peer).expect("peer within system");
+        let mac = Self::batched_mac_with(
+            gcm,
+            self.id,
+            peer,
+            closed.id,
+            &self.scratch_concat,
+            &mut self.scratch_ct,
+        );
         self.guard
             .register_outstanding(peer, closed.id | BATCH_NONCE_BIT, mac);
         BatchTrailer {
@@ -329,11 +401,19 @@ impl Endpoint {
     }
 
     /// Computes the batched MAC over the ordered MAC concatenation, in the
-    /// dedicated batch nonce space of the `self → peer` stream.
-    fn batched_mac(&self, peer: NodeId, id: BatchId, concat: &[u8]) -> MsgMac {
-        let nonce = PadSeed::new(self.id.raw(), peer.raw(), id | BATCH_NONCE_BIT).to_nonce();
-        let aad = Self::aad(self.id, peer, id | BATCH_NONCE_BIT);
-        let (_, tag) = self.gcm_for(peer).seal_detached(&nonce, &aad, concat);
+    /// dedicated batch nonce space of the `me → peer` stream. Static over
+    /// explicit borrows so callers can hold other `self` fields mutably.
+    fn batched_mac_with(
+        gcm: &AesGcm,
+        me: NodeId,
+        peer: NodeId,
+        id: BatchId,
+        concat: &[u8],
+        ct_scratch: &mut Vec<u8>,
+    ) -> MsgMac {
+        let nonce = PadSeed::new(me.raw(), peer.raw(), id | BATCH_NONCE_BIT).to_nonce();
+        let aad = Self::aad(me, peer, id | BATCH_NONCE_BIT);
+        let tag = gcm.seal_detached_into(&nonce, &aad, concat, ct_scratch);
         tag[..8].try_into().expect("8-byte prefix")
     }
 
@@ -354,6 +434,25 @@ impl Endpoint {
         &mut self,
         wire: &WireBlock,
     ) -> Result<(Vec<u8>, Option<Ack>), MgpuError> {
+        let mut plaintext = Vec::new();
+        let ack = self.open_batched_block_into(wire, &mut plaintext)?;
+        Ok((plaintext, ack))
+    }
+
+    /// [`open_batched_block`] decrypting into a caller-owned buffer,
+    /// reusing its allocation. On error the buffer's contents are
+    /// unspecified and must not be used.
+    ///
+    /// # Errors
+    ///
+    /// See [`open_batched_block`].
+    ///
+    /// [`open_batched_block`]: Endpoint::open_batched_block
+    pub fn open_batched_block_into(
+        &mut self,
+        wire: &WireBlock,
+        plaintext: &mut Vec<u8>,
+    ) -> Result<Option<Ack>, MgpuError> {
         let (batch_id, index) = wire.batch.ok_or_else(|| {
             MgpuError::Protocol("unbatched block passed to open_batched_block".into())
         })?;
@@ -365,17 +464,24 @@ impl Endpoint {
         let nonce = PadSeed::new(wire.sender.raw(), self.id.raw(), wire.counter).to_nonce();
         let aad = Self::aad(wire.sender, self.id, wire.counter);
         // Lazy verification: decrypt now, verify when the batch completes.
-        let (plaintext, tag) =
-            self.gcm_for(wire.sender)
-                .decrypt_and_tag(&nonce, &aad, &wire.ciphertext);
+        let tag = self.gcm_for(wire.sender).decrypt_and_tag_into(
+            &nonce,
+            &aad,
+            &wire.ciphertext,
+            plaintext,
+        );
         let mac: MsgMac = tag[..8].try_into().expect("8-byte prefix");
         self.storage
             .store_block(wire.sender, batch_id, index, mac)?;
         // If the trailer is already here and all blocks arrived, finish.
-        let ack = if let Some(trailer) = self.early_trailers.get(&(wire.sender, batch_id)) {
+        let parked = self
+            .early_trailers
+            .get(wire.sender)
+            .and_then(|list| list.iter().find(|t| t.id == batch_id))
+            .copied();
+        let ack = if let Some(trailer) = parked {
             if self.storage.pending(wire.sender, batch_id) as u32 == trailer.len {
-                let trailer = *trailer;
-                self.early_trailers.remove(&(wire.sender, batch_id));
+                self.remove_early_trailer(wire.sender, batch_id);
                 Some(self.finish_batch(&trailer)?)
             } else {
                 None
@@ -383,7 +489,16 @@ impl Endpoint {
         } else {
             None
         };
-        Ok((plaintext, ack))
+        Ok(ack)
+    }
+
+    /// Unparks the early trailer for `(src, id)`, if present.
+    fn remove_early_trailer(&mut self, src: NodeId, id: BatchId) {
+        if let Some(list) = self.early_trailers.get_mut(src) {
+            if let Some(pos) = list.iter().position(|t| t.id == id) {
+                list.swap_remove(pos);
+            }
+        }
     }
 
     /// Processes a batch trailer. If every block already arrived the batch
@@ -403,7 +518,7 @@ impl Endpoint {
         // Freshness is recorded only when the batch *verifies* (in
         // `finish_batch`) — a tampered trailer must not burn the id it
         // claims, or the genuine trailer could never complete its batch.
-        if let Some(&last) = self.last_batch.get(&trailer.sender) {
+        if let Some(&last) = self.last_batch.get(trailer.sender) {
             if trailer.id <= last {
                 return Err(MgpuError::ReplayDetected {
                     counter: trailer.id,
@@ -422,8 +537,13 @@ impl Endpoint {
         if pending == trailer.len {
             Ok(Some(self.finish_batch(trailer)?))
         } else {
-            self.early_trailers
-                .insert((trailer.sender, trailer.id), *trailer);
+            let list = self
+                .early_trailers
+                .get_or_insert_with(trailer.sender, Vec::new);
+            match list.iter_mut().find(|t| t.id == trailer.id) {
+                Some(slot) => *slot = *trailer,
+                None => list.push(*trailer),
+            }
             Ok(None)
         }
     }
@@ -432,14 +552,16 @@ impl Endpoint {
         let sender = trailer.sender;
         let id = trailer.id;
         let me = self.id;
-        // Compute verification inside the closure using a locally
-        // recomputed batched MAC.
-        let gcm = self.gcm_for(sender).clone();
+        // Verify inside the closure with a locally recomputed batched MAC.
+        // The closure borrows the session cipher and the ciphertext scratch
+        // buffer — fields disjoint from `storage` — so nothing is cloned.
+        let gcm = self.gcm.get(sender).expect("peer within system");
+        let scratch = &mut self.scratch_ct;
         let trailer_mac = trailer.mac;
         let ok = self.storage.complete(sender, id, trailer.len, |concat| {
             let nonce = PadSeed::new(sender.raw(), me.raw(), id | BATCH_NONCE_BIT).to_nonce();
             let aad = Self::aad(sender, me, id | BATCH_NONCE_BIT);
-            let (_, tag) = gcm.seal_detached(&nonce, &aad, concat);
+            let tag = gcm.seal_detached_into(&nonce, &aad, concat, scratch);
             tag[..8] == trailer_mac
         })?;
         if !ok {
@@ -451,7 +573,7 @@ impl Endpoint {
         // sweeps out any parked (possibly forged, over-length) trailer
         // still waiting under this batch id.
         self.last_batch.insert(sender, id);
-        self.early_trailers.remove(&(sender, id));
+        self.remove_early_trailer(sender, id);
         Ok(Ack {
             from: me,
             counter: id | BATCH_NONCE_BIT,
@@ -482,7 +604,7 @@ impl Endpoint {
     /// retransmission after a failed batch verification. Returns the
     /// number of MACs discarded.
     pub fn discard_batch(&mut self, src: NodeId, id: BatchId) -> usize {
-        self.early_trailers.remove(&(src, id));
+        self.remove_early_trailer(src, id);
         self.storage.discard(src, id)
     }
 

@@ -12,8 +12,7 @@
 //!   pads are never reused, so a legitimate sender never repeats one).
 
 use crate::batching::MsgMac;
-use mgpu_types::{MgpuError, NodeId};
-use std::collections::BTreeMap;
+use mgpu_types::{DenseNodeMap, MgpuError, NodeId};
 
 /// Sender-side outstanding-message table plus receiver-side freshness
 /// tracking for one node.
@@ -34,10 +33,14 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Default)]
 pub struct ReplayGuard {
-    /// (peer, counter) -> MAC awaiting acknowledgement.
-    outstanding: BTreeMap<(NodeId, u64), MsgMac>,
+    /// Per-peer `(counter, MAC)` entries awaiting acknowledgement. The
+    /// inner vectors stay small (bounded by the ACK window) and keep
+    /// their capacity across entries, so the steady-state register/ack
+    /// cycle allocates nothing.
+    outstanding: DenseNodeMap<Vec<(u64, MsgMac)>>,
+    outstanding_count: usize,
     /// Highest counter accepted from each sender.
-    last_accepted: BTreeMap<NodeId, u64>,
+    last_accepted: DenseNodeMap<u64>,
     peak_outstanding: usize,
     replays_detected: u64,
     ack_mismatches: u64,
@@ -52,8 +55,15 @@ impl ReplayGuard {
 
     /// Records an outgoing message awaiting its ACK.
     pub fn register_outstanding(&mut self, dst: NodeId, ctr: u64, mac: MsgMac) {
-        self.outstanding.insert((dst, ctr), mac);
-        self.peak_outstanding = self.peak_outstanding.max(self.outstanding.len());
+        let entries = self.outstanding.get_or_insert_with(dst, Vec::new);
+        match entries.iter_mut().find(|(c, _)| *c == ctr) {
+            Some(entry) => entry.1 = mac,
+            None => {
+                entries.push((ctr, mac));
+                self.outstanding_count += 1;
+            }
+        }
+        self.peak_outstanding = self.peak_outstanding.max(self.outstanding_count);
     }
 
     /// Processes an ACK from `dst` echoing `(ctr, mac)`.
@@ -65,19 +75,27 @@ impl ReplayGuard {
     /// * [`MgpuError::AuthenticationFailed`] — the echoed MAC does not
     ///   match what was sent (return-path tampering).
     pub fn accept_ack(&mut self, dst: NodeId, ctr: u64, mac: MsgMac) -> Result<(), MgpuError> {
-        match self.outstanding.remove(&(dst, ctr)) {
+        let entries = self.outstanding.get_mut(dst);
+        let found = entries
+            .as_ref()
+            .and_then(|e| e.iter().position(|(c, _)| *c == ctr));
+        match found {
             None => Err(MgpuError::Protocol(format!(
                 "unsolicited ACK from {dst} for counter {ctr}"
             ))),
-            Some(expected) if expected != mac => {
-                // Put it back: the real ACK may still arrive.
-                self.outstanding.insert((dst, ctr), expected);
-                self.ack_mismatches += 1;
-                Err(MgpuError::AuthenticationFailed {
-                    context: format!("ACK MAC mismatch from {dst} for counter {ctr}"),
-                })
+            Some(pos) => {
+                let entries = entries.expect("position implies entries");
+                if entries[pos].1 != mac {
+                    // Leave it in place: the real ACK may still arrive.
+                    self.ack_mismatches += 1;
+                    return Err(MgpuError::AuthenticationFailed {
+                        context: format!("ACK MAC mismatch from {dst} for counter {ctr}"),
+                    });
+                }
+                entries.swap_remove(pos);
+                self.outstanding_count -= 1;
+                Ok(())
             }
-            Some(_) => Ok(()),
         }
     }
 
@@ -92,7 +110,7 @@ impl ReplayGuard {
     /// Returns [`MgpuError::ReplayDetected`] when the counter does not
     /// advance.
     pub fn check_fresh(&mut self, src: NodeId, ctr: u64) -> Result<(), MgpuError> {
-        match self.last_accepted.get(&src) {
+        match self.last_accepted.get(src) {
             Some(&last) if ctr <= last => {
                 self.replays_detected += 1;
                 Err(MgpuError::ReplayDetected { counter: ctr })
@@ -107,7 +125,7 @@ impl ReplayGuard {
     /// Messages currently awaiting acknowledgement.
     #[must_use]
     pub fn outstanding(&self) -> usize {
-        self.outstanding.len()
+        self.outstanding_count
     }
 
     /// High-water mark of the outstanding table (hardware sizing metric).
@@ -120,7 +138,9 @@ impl ReplayGuard {
     /// ACK — lets a sender observe that an ACK was dropped on the wire.
     #[must_use]
     pub fn is_outstanding(&self, dst: NodeId, ctr: u64) -> bool {
-        self.outstanding.contains_key(&(dst, ctr))
+        self.outstanding
+            .get(dst)
+            .is_some_and(|entries| entries.iter().any(|(c, _)| *c == ctr))
     }
 
     /// Replays detected so far.

@@ -19,15 +19,25 @@
 use super::{OtpScheme, SendOutcome};
 use crate::otp::{OtpStats, PadWindow};
 use mgpu_crypto::engine::{AesEngine, PadTiming};
-use mgpu_types::{Cycle, Direction, NodeId, OtpSchemeKind, SystemConfig};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Direction, NodeId, OtpSchemeKind, SystemConfig};
 
 type Key = (NodeId, Direction);
+
+/// Array index for a direction: send windows live in slot 0, receive
+/// windows in slot 1.
+fn di(dir: Direction) -> usize {
+    match dir {
+        Direction::Send => 0,
+        Direction::Recv => 1,
+    }
+}
 
 /// Cached (LRU pool) OTP buffer management (see module docs).
 #[derive(Debug)]
 pub struct CachedScheme {
-    windows: BTreeMap<Key, PadWindow>,
+    /// Pad windows per pair-direction, dense-indexed: `windows[di(dir)]`
+    /// holds that direction's per-peer windows.
+    windows: [DenseNodeMap<PadWindow>; 2],
     /// LRU order: front = least recently used.
     lru: Vec<Key>,
     /// Total pool capacity in buffer entries.
@@ -41,7 +51,7 @@ pub struct CachedScheme {
     max_ctr: u64,
     /// Per-pair-direction miss counters: growth fires every other miss
     /// (an LRU cache reacts, and only slowly, to repeated pressure).
-    miss_counts: BTreeMap<Key, u32>,
+    miss_counts: [DenseNodeMap<u32>; 2],
     stats: OtpStats,
 }
 
@@ -54,11 +64,14 @@ impl CachedScheme {
     pub fn new(me: NodeId, config: &SystemConfig, engine: &mut AesEngine) -> Self {
         let capacity = config.total_otp_buffers_per_node();
         let depth = config.security.otp_multiplier;
-        let mut windows = BTreeMap::new();
+        let mut windows = [
+            DenseNodeMap::with_gpu_count(config.gpu_count),
+            DenseNodeMap::with_gpu_count(config.gpu_count),
+        ];
         let mut lru = Vec::new();
         for peer in me.peers(config.gpu_count) {
             for dir in mgpu_types::Direction::BOTH {
-                windows.insert((peer, dir), PadWindow::new(depth, Cycle::ZERO, engine));
+                windows[di(dir)].insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
                 lru.push((peer, dir));
             }
         }
@@ -73,7 +86,7 @@ impl CachedScheme {
             growth: 1,
             per_pair_cap: depth + 1,
             max_ctr: 0,
-            miss_counts: BTreeMap::new(),
+            miss_counts: [DenseNodeMap::new(), DenseNodeMap::new()],
             stats: OtpStats::default(),
         }
     }
@@ -86,7 +99,11 @@ impl CachedScheme {
     }
 
     fn used_entries(&self) -> u32 {
-        self.windows.values().map(PadWindow::depth).sum()
+        self.windows
+            .iter()
+            .flat_map(DenseNodeMap::values)
+            .map(PadWindow::depth)
+            .sum()
     }
 
     /// Frees at least `needed` entries by shrinking the least-recently-used
@@ -101,7 +118,9 @@ impl CachedScheme {
             if victim == key {
                 continue;
             }
-            let window = self.windows.get_mut(&victim).expect("window exists");
+            let window = self.windows[di(victim.1)]
+                .get_mut(victim.0)
+                .expect("window exists");
             let depth = window.depth();
             if depth == 0 {
                 continue;
@@ -121,7 +140,7 @@ impl CachedScheme {
             Direction::Recv => self.per_pair_cap.saturating_sub(1).max(1),
         };
         let target = target.min(cap);
-        let current = self.windows[&key].depth();
+        let current = self.windows[di(key.1)][key.0].depth();
         if target <= current {
             return;
         }
@@ -131,7 +150,9 @@ impl CachedScheme {
         if extra > free {
             self.evict_for(key, extra - free, now, engine);
         }
-        let window = self.windows.get_mut(&key).expect("window exists");
+        let window = self.windows[di(key.1)]
+            .get_mut(key.0)
+            .expect("window exists");
         window.set_depth(target, now, engine);
     }
 
@@ -143,7 +164,9 @@ impl CachedScheme {
         engine: &mut AesEngine,
     ) -> (PadTiming, u64) {
         let max_ctr = self.max_ctr;
-        let window = self.windows.get_mut(&key).expect("peer within system");
+        let window = self.windows[di(key.1)]
+            .get_mut(key.0)
+            .expect("peer within system");
         let (timing, counter) = match ctr {
             None if window.depth() == 0 => {
                 // Evicted send window: Shared fallback with the node-wide
@@ -158,7 +181,7 @@ impl CachedScheme {
         if ctr.is_none() {
             self.max_ctr = self.max_ctr.max(counter);
         }
-        let depth = self.windows[&key].depth();
+        let depth = self.windows[di(key.1)][key.0].depth();
         if matches!(
             crate::otp::OtpStats::classify(timing, engine.latency()),
             crate::otp::PadClass::Miss
@@ -167,7 +190,7 @@ impl CachedScheme {
             // at the expense of the least-recently-used pairs. Purely
             // reactive and deliberately sluggish (every other miss) —
             // unlike the Dynamic allocator it never anticipates.
-            let misses = self.miss_counts.entry(key).or_insert(0);
+            let misses = self.miss_counts[di(key.1)].get_or_insert_with(key.0, || 0);
             *misses += 1;
             if misses.is_multiple_of(2) {
                 self.grow(key, depth + self.growth, now, engine);
@@ -180,7 +203,7 @@ impl CachedScheme {
     /// Current window depth for a pair-direction (test/inspection hook).
     #[must_use]
     pub fn depth(&self, peer: NodeId, dir: Direction) -> u32 {
-        self.windows[&(peer, dir)].depth()
+        self.windows[di(dir)][peer].depth()
     }
 
     /// Pool capacity in entries.
@@ -273,7 +296,7 @@ mod tests {
             s.on_recv(
                 now,
                 NodeId::gpu(2),
-                s.windows[&(NodeId::gpu(2), Direction::Recv)].next_counter(),
+                s.windows[di(Direction::Recv)][NodeId::gpu(2)].next_counter(),
                 &mut e,
             );
             now += Duration::cycles(2);

@@ -17,14 +17,13 @@ use super::{OtpScheme, SchemeTelemetry, SendOutcome};
 use crate::ewma::EwmaAllocator;
 use crate::otp::{OtpStats, PadWindow};
 use mgpu_crypto::engine::{AesEngine, PadTiming};
-use mgpu_types::{Cycle, Direction, Duration, NodeId, OtpSchemeKind, SystemConfig};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Direction, Duration, NodeId, OtpSchemeKind, SystemConfig};
 
 /// Dynamic (EWMA-repartitioned) OTP buffer management (see module docs).
 #[derive(Debug)]
 pub struct DynamicScheme {
-    send: BTreeMap<NodeId, PadWindow>,
-    recv: BTreeMap<NodeId, PadWindow>,
+    send: DenseNodeMap<PadWindow>,
+    recv: DenseNodeMap<PadWindow>,
     monitor: EwmaAllocator,
     total_buffers: u32,
     interval: Duration,
@@ -39,8 +38,8 @@ impl DynamicScheme {
     pub fn new(me: NodeId, config: &SystemConfig, engine: &mut AesEngine) -> Self {
         let depth = config.security.otp_multiplier;
         let peers: Vec<NodeId> = me.peers(config.gpu_count).collect();
-        let mut send = BTreeMap::new();
-        let mut recv = BTreeMap::new();
+        let mut send = DenseNodeMap::with_gpu_count(config.gpu_count);
+        let mut recv = DenseNodeMap::with_gpu_count(config.gpu_count);
         for &peer in &peers {
             send.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
             recv.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
@@ -67,13 +66,13 @@ impl DynamicScheme {
             let alloc = self.monitor.end_interval(self.total_buffers);
             for (&peer, &pads) in &alloc.send {
                 self.send
-                    .get_mut(&peer)
+                    .get_mut(peer)
                     .expect("peer window exists")
                     .set_target(pads, boundary, engine);
             }
             for (&peer, &pads) in &alloc.recv {
                 self.recv
-                    .get_mut(&peer)
+                    .get_mut(peer)
                     .expect("peer window exists")
                     .set_target(pads, boundary, engine);
             }
@@ -92,8 +91,8 @@ impl DynamicScheme {
     #[must_use]
     pub fn depth(&self, peer: NodeId, dir: Direction) -> u32 {
         match dir {
-            Direction::Send => self.send[&peer].depth(),
-            Direction::Recv => self.recv[&peer].depth(),
+            Direction::Send => self.send[peer].depth(),
+            Direction::Recv => self.recv[peer].depth(),
         }
     }
 
@@ -101,7 +100,7 @@ impl DynamicScheme {
     /// (inspection hook for drivers that emulate a synchronized sender).
     #[must_use]
     pub fn recv_next_counter(&self, peer: NodeId) -> u64 {
-        self.recv[&peer].next_counter()
+        self.recv[peer].next_counter()
     }
 
     /// Total *target* entries across all windows. Conserved at the pool
@@ -123,7 +122,7 @@ impl OtpScheme for DynamicScheme {
     fn on_send(&mut self, now: Cycle, peer: NodeId, engine: &mut AesEngine) -> SendOutcome {
         self.rebalance_to(now, engine);
         self.monitor.observe_send(peer);
-        let window = self.send.get_mut(&peer).expect("peer within system");
+        let window = self.send.get_mut(peer).expect("peer within system");
         let (timing, counter) = window.use_pad(now, engine);
         self.stats.record(Direction::Send, timing, engine.latency());
         SendOutcome { timing, counter }
@@ -132,7 +131,7 @@ impl OtpScheme for DynamicScheme {
     fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
         self.rebalance_to(now, engine);
         self.monitor.observe_recv(peer);
-        let window = self.recv.get_mut(&peer).expect("peer within system");
+        let window = self.recv.get_mut(peer).expect("peer within system");
         let timing = window.use_pad_for(ctr, now, engine);
         self.stats.record(Direction::Recv, timing, engine.latency());
         timing
@@ -153,12 +152,12 @@ impl OtpScheme for DynamicScheme {
             send_depths: self
                 .send
                 .iter()
-                .map(|(&peer, w)| (peer, w.depth()))
+                .map(|(peer, w)| (peer, w.depth()))
                 .collect(),
             recv_depths: self
                 .recv
                 .iter()
-                .map(|(&peer, w)| (peer, w.depth()))
+                .map(|(peer, w)| (peer, w.depth()))
                 .collect(),
         })
     }
@@ -258,7 +257,7 @@ mod tests {
                 now += Duration::cycles(7);
             }
             for _ in 0..(round % 3) {
-                let ctr = s.recv[&peer].next_counter();
+                let ctr = s.recv[peer].next_counter();
                 s.on_recv(now, peer, ctr, &mut e);
                 now += Duration::cycles(7);
             }

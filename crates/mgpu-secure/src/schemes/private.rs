@@ -9,14 +9,13 @@
 use super::{OtpScheme, SendOutcome};
 use crate::otp::{OtpStats, PadWindow};
 use mgpu_crypto::engine::{AesEngine, PadTiming};
-use mgpu_types::{Cycle, Direction, NodeId, OtpSchemeKind, SystemConfig};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Direction, NodeId, OtpSchemeKind, SystemConfig};
 
 /// Private OTP buffer management (see module docs).
 #[derive(Debug)]
 pub struct PrivateScheme {
-    send: BTreeMap<NodeId, PadWindow>,
-    recv: BTreeMap<NodeId, PadWindow>,
+    send: DenseNodeMap<PadWindow>,
+    recv: DenseNodeMap<PadWindow>,
     stats: OtpStats,
 }
 
@@ -27,8 +26,8 @@ impl PrivateScheme {
     #[must_use]
     pub fn new(me: NodeId, config: &SystemConfig, engine: &mut AesEngine) -> Self {
         let depth = config.security.otp_multiplier;
-        let mut send = BTreeMap::new();
-        let mut recv = BTreeMap::new();
+        let mut send = DenseNodeMap::with_gpu_count(config.gpu_count);
+        let mut recv = DenseNodeMap::with_gpu_count(config.gpu_count);
         for peer in me.peers(config.gpu_count) {
             send.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
             recv.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
@@ -44,8 +43,8 @@ impl PrivateScheme {
     #[must_use]
     pub fn depth(&self, peer: NodeId, dir: Direction) -> u32 {
         match dir {
-            Direction::Send => self.send[&peer].depth(),
-            Direction::Recv => self.recv[&peer].depth(),
+            Direction::Send => self.send[peer].depth(),
+            Direction::Recv => self.recv[peer].depth(),
         }
     }
 }
@@ -56,14 +55,14 @@ impl OtpScheme for PrivateScheme {
     }
 
     fn on_send(&mut self, now: Cycle, peer: NodeId, engine: &mut AesEngine) -> SendOutcome {
-        let window = self.send.get_mut(&peer).expect("peer within system");
+        let window = self.send.get_mut(peer).expect("peer within system");
         let (timing, counter) = window.use_pad(now, engine);
         self.stats.record(Direction::Send, timing, engine.latency());
         SendOutcome { timing, counter }
     }
 
     fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
-        let window = self.recv.get_mut(&peer).expect("peer within system");
+        let window = self.recv.get_mut(peer).expect("peer within system");
         let timing = window.use_pad_for(ctr, now, engine);
         self.stats.record(Direction::Recv, timing, engine.latency());
         timing

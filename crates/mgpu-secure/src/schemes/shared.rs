@@ -20,8 +20,7 @@
 use super::{OtpScheme, SendOutcome};
 use crate::otp::{OtpStats, PadWindow};
 use mgpu_crypto::engine::{AesEngine, PadTiming};
-use mgpu_types::{Cycle, Direction, NodeId, OtpSchemeKind, SystemConfig};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Direction, NodeId, OtpSchemeKind, SystemConfig};
 
 /// Shared OTP buffer management (see module docs).
 #[derive(Debug)]
@@ -29,7 +28,7 @@ pub struct SharedScheme {
     /// Single send window: global counter, destination-independent pad.
     send: PadWindow,
     /// Per-sender receive windows tracking that sender's *global* counter.
-    recv: BTreeMap<NodeId, PadWindow>,
+    recv: DenseNodeMap<PadWindow>,
     stats: OtpStats,
 }
 
@@ -43,7 +42,7 @@ impl SharedScheme {
         let peers: Vec<NodeId> = me.peers(config.gpu_count).collect();
         let recv_budget = total.saturating_sub(1);
         let per_peer = recv_budget / peers.len() as u32;
-        let mut recv = BTreeMap::new();
+        let mut recv = DenseNodeMap::with_gpu_count(config.gpu_count);
         for &peer in &peers {
             recv.insert(peer, PadWindow::new(per_peer, Cycle::ZERO, engine));
         }
@@ -57,7 +56,7 @@ impl SharedScheme {
     /// The receive-window depth per sender (test/inspection hook).
     #[must_use]
     pub fn recv_depth(&self, peer: NodeId) -> u32 {
-        self.recv[&peer].depth()
+        self.recv[peer].depth()
     }
 }
 
@@ -74,7 +73,7 @@ impl OtpScheme for SharedScheme {
     }
 
     fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
-        let window = self.recv.get_mut(&peer).expect("peer within system");
+        let window = self.recv.get_mut(peer).expect("peer within system");
         // The carried counter is the sender's shared counter; it may have
         // advanced past our speculation window if the sender interleaved
         // other destinations.

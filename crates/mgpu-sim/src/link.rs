@@ -54,6 +54,92 @@ impl TrafficClass {
     }
 }
 
+/// A block's wire components travelling together, stored inline.
+///
+/// The engine's per-block hot path (NIC prepare → egress event → per-hop
+/// transit) carries at most [`WireParts::CAPACITY`] parts (payload,
+/// counter, MAC/batch framing, sender ID), so a fixed-capacity `Copy`
+/// array replaces the `Vec` that used to cost one heap allocation per
+/// transmitted block.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::link::{TrafficClass, WireParts};
+/// use mgpu_types::ByteSize;
+///
+/// let mut parts = WireParts::of(ByteSize::new(72), TrafficClass::Data);
+/// parts.push(ByteSize::new(8), TrafficClass::Mac);
+/// assert_eq!(parts.len(), 2);
+/// assert_eq!(parts.total(), ByteSize::new(80));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireParts {
+    len: u8,
+    items: [(ByteSize, TrafficClass); WireParts::CAPACITY],
+}
+
+impl WireParts {
+    /// Maximum parts one block can carry (data + counter/sender-id +
+    /// batch header + MAC).
+    pub const CAPACITY: usize = 4;
+
+    /// Creates an empty part list.
+    #[must_use]
+    pub fn new() -> Self {
+        WireParts {
+            len: 0,
+            items: [(ByteSize::ZERO, TrafficClass::Data); WireParts::CAPACITY],
+        }
+    }
+
+    /// Creates a single-part list.
+    #[must_use]
+    pub fn of(bytes: ByteSize, class: TrafficClass) -> Self {
+        let mut parts = WireParts::new();
+        parts.push(bytes, class);
+        parts
+    }
+
+    /// Appends a part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`WireParts::CAPACITY`] parts.
+    pub fn push(&mut self, bytes: ByteSize, class: TrafficClass) {
+        let slot = usize::from(self.len);
+        assert!(slot < WireParts::CAPACITY, "wire part capacity exceeded");
+        self.items[slot] = (bytes, class);
+        self.len += 1;
+    }
+
+    /// The parts as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(ByteSize, TrafficClass)] {
+        &self.items[..usize::from(self.len)]
+    }
+
+    /// Total bytes across all parts.
+    #[must_use]
+    pub fn total(&self) -> ByteSize {
+        self.as_slice().iter().map(|(b, _)| *b).sum()
+    }
+}
+
+impl Default for WireParts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for WireParts {
+    type Target = [(ByteSize, TrafficClass)];
+
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
 /// Per-class byte counters accumulated by a link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficTotals {

@@ -17,8 +17,7 @@
 //! traffic never transits the GPU fabric, matching real systems where the
 //! host bus is separate from NVLink.
 
-use mgpu_types::{NodeId, PairId, TopologyKind};
-use std::collections::HashMap;
+use mgpu_types::{NodeId, PairId, PairTable, TopologyKind};
 
 /// One stop on a route: either an endpoint/forwarding node or a switch.
 ///
@@ -59,7 +58,7 @@ impl core::fmt::Display for Waypoint {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
-    routes: HashMap<PairId, Vec<Waypoint>>,
+    routes: PairTable<Vec<Waypoint>>,
     switch_count: u16,
     kind: TopologyKind,
 }
@@ -75,7 +74,7 @@ impl RoutingTable {
     pub fn new(kind: TopologyKind, gpu_count: u16) -> Self {
         kind.validate(gpu_count)
             .expect("topology valid for gpu_count");
-        let mut routes = HashMap::new();
+        let mut routes = PairTable::new();
         for src in NodeId::all(gpu_count) {
             for dst in src.peers(gpu_count) {
                 let pair = PairId::new(src, dst);
@@ -108,7 +107,7 @@ impl RoutingTable {
     /// Panics if `pair` references a node outside the system.
     #[must_use]
     pub fn route(&self, pair: PairId) -> &[Waypoint] {
-        self.routes.get(&pair).expect("pair within system")
+        self.routes.get(pair).expect("pair within system")
     }
 
     /// Number of links `pair`'s messages cross (`route.len() - 1`).

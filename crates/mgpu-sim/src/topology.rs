@@ -28,8 +28,9 @@
 
 use crate::link::{Link, TrafficClass, TrafficTotals};
 use crate::routing::{RoutingTable, Waypoint};
-use mgpu_types::{ByteSize, Cycle, Duration, NodeId, PairId, SystemConfig};
-use std::collections::HashMap;
+use mgpu_types::{
+    ByteSize, Cycle, DenseNodeMap, Duration, NodeId, PairId, PairTable, SystemConfig,
+};
 
 /// The full interconnect: per-waypoint data ports plus per-pair control
 /// VCs, routed over the configured fabric shape.
@@ -49,15 +50,20 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug)]
 pub struct Topology {
-    /// Outgoing data port per waypoint (accounts traffic totals; every
-    /// hop's bytes are charged to the port they leave through).
-    egress: HashMap<Waypoint, Link>,
-    /// Incoming data port per waypoint (occupancy only; zero latency so
-    /// each hop's propagation delay is charged once, at its egress).
-    ingress: HashMap<Waypoint, Link>,
+    /// Outgoing data port per node (accounts traffic totals; every hop's
+    /// bytes are charged to the port they leave through). Dense-indexed by
+    /// node id — port lookups sit on the per-hop transmit path.
+    node_egress: DenseNodeMap<Link>,
+    /// Incoming data port per node (occupancy only; zero latency so each
+    /// hop's propagation delay is charged once, at its egress).
+    node_ingress: DenseNodeMap<Link>,
+    /// Outgoing data port per switch, indexed by switch number.
+    switch_egress: Vec<Link>,
+    /// Incoming data port per switch, indexed by switch number.
+    switch_ingress: Vec<Link>,
     /// Small-message control VC per directed pair. Multi-hop pairs get a
     /// hop-scaled propagation latency and hop-scaled byte accounting.
-    ctrl: HashMap<PairId, Link>,
+    ctrl: PairTable<Link>,
     routes: RoutingTable,
     gpu_count: u16,
 }
@@ -67,18 +73,17 @@ impl Topology {
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
         let routes = RoutingTable::new(config.topology, config.gpu_count);
-        let mut egress = HashMap::new();
-        let mut ingress = HashMap::new();
-        let mut ctrl = HashMap::new();
+        let mut node_egress = DenseNodeMap::with_gpu_count(config.gpu_count);
+        let mut node_ingress = DenseNodeMap::with_gpu_count(config.gpu_count);
+        let mut ctrl = PairTable::new();
         for node in NodeId::all(config.gpu_count) {
             let port_bw = if node.is_cpu() {
                 config.pcie_bytes_per_cycle
             } else {
                 config.gpu_link_bytes_per_cycle
             };
-            let w = Waypoint::Node(node);
-            egress.insert(w, Link::new(port_bw, config.link_latency));
-            ingress.insert(w, Link::new(port_bw, Duration::ZERO));
+            node_egress.insert(node, Link::new(port_bw, config.link_latency));
+            node_ingress.insert(node, Link::new(port_bw, Duration::ZERO));
             for dst in node.peers(config.gpu_count) {
                 let pair = PairId::new(node, dst);
                 let bw = if pair.involves_cpu() {
@@ -92,23 +97,45 @@ impl Topology {
             }
         }
         // Switch ports run at fabric (NVLink) speed.
-        for s in 0..routes.switch_count() {
-            let w = Waypoint::Switch(s);
-            egress.insert(
-                w,
-                Link::new(config.gpu_link_bytes_per_cycle, config.link_latency),
-            );
-            ingress.insert(
-                w,
-                Link::new(config.gpu_link_bytes_per_cycle, Duration::ZERO),
-            );
-        }
+        let switch_egress = (0..routes.switch_count())
+            .map(|_| Link::new(config.gpu_link_bytes_per_cycle, config.link_latency))
+            .collect();
+        let switch_ingress = (0..routes.switch_count())
+            .map(|_| Link::new(config.gpu_link_bytes_per_cycle, Duration::ZERO))
+            .collect();
         Topology {
-            egress,
-            ingress,
+            node_egress,
+            node_ingress,
+            switch_egress,
+            switch_ingress,
             ctrl,
             routes,
             gpu_count: config.gpu_count,
+        }
+    }
+
+    /// The egress port of waypoint `w` (hot path: O(1) dense index).
+    fn egress_mut(&mut self, w: Waypoint) -> &mut Link {
+        match w {
+            Waypoint::Node(n) => self.node_egress.get_mut(n).expect("waypoint within fabric"),
+            Waypoint::Switch(s) => self
+                .switch_egress
+                .get_mut(usize::from(s))
+                .expect("waypoint within fabric"),
+        }
+    }
+
+    /// The ingress port of waypoint `w` (hot path: O(1) dense index).
+    fn ingress_mut(&mut self, w: Waypoint) -> &mut Link {
+        match w {
+            Waypoint::Node(n) => self
+                .node_ingress
+                .get_mut(n)
+                .expect("waypoint within fabric"),
+            Waypoint::Switch(s) => self
+                .switch_ingress
+                .get_mut(usize::from(s))
+                .expect("waypoint within fabric"),
         }
     }
 
@@ -135,9 +162,7 @@ impl Topology {
     /// Panics if `node` is outside the system.
     #[must_use]
     pub fn egress(&self, node: NodeId) -> &Link {
-        self.egress
-            .get(&Waypoint::Node(node))
-            .expect("node within system")
+        self.node_egress.get(node).expect("node within system")
     }
 
     /// The ingress data port of `node`.
@@ -147,9 +172,7 @@ impl Topology {
     /// Panics if `node` is outside the system.
     #[must_use]
     pub fn ingress(&self, node: NodeId) -> &Link {
-        self.ingress
-            .get(&Waypoint::Node(node))
-            .expect("node within system")
+        self.node_ingress.get(node).expect("node within system")
     }
 
     /// The egress port of switch `s` (switch fabrics only).
@@ -159,8 +182,8 @@ impl Topology {
     /// Panics if the fabric has no switch `s`.
     #[must_use]
     pub fn switch_egress(&self, s: u16) -> &Link {
-        self.egress
-            .get(&Waypoint::Switch(s))
+        self.switch_egress
+            .get(usize::from(s))
             .expect("switch within fabric")
     }
 
@@ -171,7 +194,7 @@ impl Topology {
     /// Panics if `pair` references a node outside the system.
     #[must_use]
     pub fn ctrl(&self, pair: PairId) -> &Link {
-        self.ctrl.get(&pair).expect("pair within system")
+        self.ctrl.get(pair).expect("pair within system")
     }
 
     /// Books a multi-part message onto the egress port of waypoint `hop`
@@ -193,10 +216,7 @@ impl Topology {
     ) -> Cycle {
         assert!(hop < self.routes.hops(pair), "hop within route");
         let w = self.routes.route(pair)[hop];
-        self.egress
-            .get_mut(&w)
-            .expect("waypoint within fabric")
-            .transmit_parts(now, parts)
+        self.egress_mut(w).transmit_parts(now, parts)
     }
 
     /// Occupies the ingress port of waypoint `hop` on `pair`'s route
@@ -214,10 +234,7 @@ impl Topology {
             "hop within route"
         );
         let w = self.routes.route(pair)[hop];
-        self.ingress
-            .get_mut(&w)
-            .expect("waypoint within fabric")
-            .occupy(now, bytes)
+        self.ingress_mut(w).occupy(now, bytes)
     }
 
     /// Transmits a multi-part data message end to end: serializes through
@@ -253,8 +270,8 @@ impl Topology {
         now: Cycle,
         parts: &[(ByteSize, TrafficClass)],
     ) -> Cycle {
-        self.egress
-            .get_mut(&Waypoint::Node(src))
+        self.node_egress
+            .get_mut(src)
             .expect("src within system")
             .transmit_parts(now, parts)
     }
@@ -262,8 +279,8 @@ impl Topology {
     /// Books `bytes` on `dst`'s ingress port at `now`; returns when the
     /// last byte is through.
     pub fn ingress_occupy(&mut self, dst: NodeId, now: Cycle, bytes: ByteSize) -> Cycle {
-        self.ingress
-            .get_mut(&Waypoint::Node(dst))
+        self.node_ingress
+            .get_mut(dst)
             .expect("dst within system")
             .occupy(now, bytes)
     }
@@ -280,7 +297,7 @@ impl Topology {
         parts: &[(ByteSize, TrafficClass)],
     ) -> Cycle {
         let hops = self.routes.hops(pair) as u64;
-        let link = self.ctrl.get_mut(&pair).expect("pair within system");
+        let link = self.ctrl.get_mut(pair).expect("pair within system");
         let arrival = link.transmit_parts(now, parts);
         for &(bytes, class) in parts {
             if hops > 1 {
@@ -295,7 +312,7 @@ impl Topology {
     pub fn charge_background(&mut self, pair: PairId, bytes: ByteSize, class: TrafficClass) {
         let hops = self.routes.hops(pair) as u64;
         self.ctrl
-            .get_mut(&pair)
+            .get_mut(pair)
             .expect("pair within system")
             .charge_background(bytes * hops, class);
     }
@@ -318,7 +335,12 @@ impl Topology {
     #[must_use]
     pub fn traffic_totals(&self) -> TrafficTotals {
         let mut totals = TrafficTotals::default();
-        for link in self.egress.values().chain(self.ctrl.values()) {
+        for link in self
+            .node_egress
+            .values()
+            .chain(self.switch_egress.iter())
+            .chain(self.ctrl.values())
+        {
             totals.merge(link.totals());
         }
         totals
@@ -334,8 +356,8 @@ impl Topology {
     ///
     /// Panics if `src` is outside the system.
     pub fn note_tampered_egress(&mut self, src: NodeId, n: u64) {
-        self.egress
-            .get_mut(&Waypoint::Node(src))
+        self.node_egress
+            .get_mut(src)
             .expect("src within system")
             .note_tampered(n);
     }
@@ -343,32 +365,28 @@ impl Topology {
     /// Total adversary-tampered crossings across all egress ports.
     #[must_use]
     pub fn tampered_total(&self) -> u64 {
-        self.egress.values().map(Link::tampered_messages).sum()
+        self.node_egress
+            .values()
+            .chain(self.switch_egress.iter())
+            .map(Link::tampered_messages)
+            .sum()
     }
 
-    /// Iterates over `(node, egress port)` entries in a deterministic
+    /// Iterates over `(node, egress port)` entries in ascending node
     /// order — the per-node data-traffic breakdown (switch ports excluded;
     /// see [`Topology::iter_switch_egress`]).
     pub fn iter_egress(&self) -> impl Iterator<Item = (NodeId, &Link)> {
-        let mut nodes: Vec<_> = self
-            .egress
-            .keys()
-            .filter_map(|w| match w {
-                Waypoint::Node(n) => Some(*n),
-                Waypoint::Switch(_) => None,
-            })
-            .collect();
-        nodes.sort();
-        nodes
-            .into_iter()
-            .map(move |n| (n, &self.egress[&Waypoint::Node(n)]))
+        self.node_egress.iter()
     }
 
     /// Iterates over `(switch, egress port)` entries in switch order —
     /// the per-switch forwarding-traffic breakdown (empty outside
     /// [`TopologyKind::Switch`]).
     pub fn iter_switch_egress(&self) -> impl Iterator<Item = (u16, &Link)> {
-        (0..self.routes.switch_count()).map(move |s| (s, &self.egress[&Waypoint::Switch(s)]))
+        self.switch_egress
+            .iter()
+            .enumerate()
+            .map(|(s, link)| (s as u16, link))
     }
 }
 

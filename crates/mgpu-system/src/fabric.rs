@@ -14,18 +14,19 @@
 //! sequence degenerates to exactly the pre-fabric model: one egress
 //! booking, one ingress booking, bit-identical timing.
 
-use mgpu_sim::link::{TrafficClass, TrafficTotals};
+use mgpu_sim::link::{TrafficClass, TrafficTotals, WireParts};
 use mgpu_sim::topology::Topology;
 use mgpu_types::{ByteSize, Cycle, NodeId, PairId, SystemConfig};
 
 /// A block (or batch of parts travelling together) in flight across the
 /// fabric. `hop` is the waypoint whose ingress port the bytes reach next
-/// (1 = first waypoint after the source).
-#[derive(Debug)]
+/// (1 = first waypoint after the source). `Copy`: the token rides inside
+/// scheduled events, so it must not drag a heap allocation along.
+#[derive(Debug, Clone, Copy)]
 pub struct Transit {
     pair: PairId,
     hop: usize,
-    parts: Vec<(ByteSize, TrafficClass)>,
+    parts: WireParts,
     bytes: ByteSize,
 }
 
@@ -80,13 +81,8 @@ impl Fabric {
     /// Starts a block transmission: books `pair.src`'s egress port with
     /// `parts` (accounting the bytes to it) and returns the arrival time
     /// at the first waypoint plus the [`Transit`] token to advance there.
-    pub fn begin(
-        &mut self,
-        pair: PairId,
-        now: Cycle,
-        parts: Vec<(ByteSize, TrafficClass)>,
-    ) -> (Cycle, Transit) {
-        let bytes: ByteSize = parts.iter().map(|(b, _)| *b).sum();
+    pub fn begin(&mut self, pair: PairId, now: Cycle, parts: WireParts) -> (Cycle, Transit) {
+        let bytes = parts.total();
         let at = self.topo.depart(pair, 0, now, &parts);
         (
             at,
@@ -177,7 +173,7 @@ mod tests {
         let (at, transit) = f.begin(
             pair,
             Cycle::ZERO,
-            vec![(ByteSize::CACHELINE, TrafficClass::Data)],
+            WireParts::of(ByteSize::CACHELINE, TrafficClass::Data),
         );
         assert_eq!(at, Cycle::new(2 + 100)); // 64 B at 50 B/cy + latency
         match f.advance(transit, at) {
@@ -193,7 +189,7 @@ mod tests {
         let (at, transit) = f.begin(
             pair,
             Cycle::ZERO,
-            vec![(ByteSize::CACHELINE, TrafficClass::Data)],
+            WireParts::of(ByteSize::CACHELINE, TrafficClass::Data),
         );
         let HopOutcome::Forwarded { at, transit } = f.advance(transit, at) else {
             panic!("two-hop route must forward at GPU2");
@@ -211,14 +207,9 @@ mod tests {
     fn transit_exposes_pair_and_bytes() {
         let mut f = fabric(TopologyKind::FullyConnected, 4);
         let pair = PairId::new(NodeId::gpu(2), NodeId::gpu(4));
-        let (_, transit) = f.begin(
-            pair,
-            Cycle::ZERO,
-            vec![
-                (ByteSize::new(64), TrafficClass::Data),
-                (ByteSize::new(8), TrafficClass::Mac),
-            ],
-        );
+        let mut parts = WireParts::of(ByteSize::new(64), TrafficClass::Data);
+        parts.push(ByteSize::new(8), TrafficClass::Mac);
+        let (_, transit) = f.begin(pair, Cycle::ZERO, parts);
         assert_eq!(transit.pair(), pair);
         assert_eq!(transit.bytes(), ByteSize::new(72));
     }

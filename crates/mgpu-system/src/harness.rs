@@ -18,8 +18,7 @@
 use mgpu_secure::adversary::{FaultKind, FaultPlan, SecurityEvent, SecurityEventLog};
 use mgpu_secure::channel::{Ack, BatchTrailer, Endpoint, WireBlock, BATCH_NONCE_BIT, BLOCK_SIZE};
 use mgpu_secure::key_exchange::KeyExchange;
-use mgpu_types::{Cycle, Duration, NodeId, SystemConfig};
-use std::collections::BTreeMap;
+use mgpu_types::{Cycle, DenseNodeMap, Duration, NodeId, PairId, PairTable, SystemConfig};
 
 /// Session key-exchange seed for the harness's functional endpoints. The
 /// adversary model grants wire access, not key access, so any fixed seed
@@ -50,14 +49,14 @@ struct OpenBatch {
 /// final ledger.
 #[derive(Debug)]
 pub struct WireHarness {
-    endpoints: BTreeMap<NodeId, Endpoint>,
+    endpoints: DenseNodeMap<Endpoint>,
     plan: FaultPlan,
     log: SecurityEventLog,
     batching: bool,
     /// How long the sender waits on a missing ACK before flagging it.
     ack_timeout: Duration,
-    open: BTreeMap<(NodeId, NodeId), OpenBatch>,
-    seq: BTreeMap<(NodeId, NodeId), u64>,
+    open: PairTable<OpenBatch>,
+    seq: PairTable<u64>,
     /// When true, detections are additionally queued for the
     /// observability trace (drained via [`WireHarness::take_trace`]).
     tracing: bool,
@@ -94,8 +93,8 @@ impl WireHarness {
             // One round trip plus slack: a sender that still sees the
             // entry outstanding after this long knows the ACK was lost.
             ack_timeout: Duration::cycles(4 * config.link_latency.as_u64()),
-            open: BTreeMap::new(),
-            seq: BTreeMap::new(),
+            open: PairTable::new(),
+            seq: PairTable::new(),
             tracing: config.observability.enabled,
             trace: Vec::new(),
         }
@@ -128,14 +127,14 @@ impl WireHarness {
     }
 
     fn next_seq(&mut self, src: NodeId, dst: NodeId) -> u64 {
-        let s = self.seq.entry((src, dst)).or_insert(0);
+        let s = self.seq.get_or_insert_with(PairId::new(src, dst), || 0);
         let out = *s;
         *s += 1;
         out
     }
 
     fn ep(&mut self, node: NodeId) -> &mut Endpoint {
-        self.endpoints.get_mut(&node).expect("node within system")
+        self.endpoints.get_mut(node).expect("node within system")
     }
 
     fn detect(&mut self, kind: FaultKind, src: NodeId, dst: NodeId, injected: Cycle, at: Cycle) {
@@ -274,13 +273,17 @@ impl WireHarness {
     }
 
     fn on_batched_block(&mut self, now: Cycle, src: NodeId, dst: NodeId) -> u64 {
-        let key = (src, dst);
+        let key = PairId::new(src, dst);
         let seq = self.next_seq(src, dst);
         let block = Self::payload(src, dst, seq);
         let (wire, trailer) = self.ep(src).seal_batched_block(dst, &block);
         let mut tampered = 0u64;
 
-        let held = self.open.entry(key).or_default().held.take();
+        let held = self
+            .open
+            .get_or_insert_with(key, OpenBatch::default)
+            .held
+            .take();
         if let Some(mut early) = held {
             // Apply the staged reorder: swap the two blocks' batch-index
             // labels, then deliver both. Lazy verification accepts them;
@@ -299,12 +302,12 @@ impl WireHarness {
                     self.log.record_false_positive();
                 }
             }
-            let state = self.open.entry(key).or_default();
+            let state = self.open.get_or_insert_with(key, OpenBatch::default);
             state.poison = Some((FaultKind::ReorderBatch, now));
             state.wires.push(wire.clone());
             tampered += 2;
         } else {
-            let poisoned = self.open.get(&key).is_some_and(|s| s.poison.is_some());
+            let poisoned = self.open.get(key).is_some_and(|s| s.poison.is_some());
             let fault = if poisoned {
                 None // one poison per batch keeps attribution exact
             } else {
@@ -321,14 +324,17 @@ impl WireHarness {
                     match self.ep(dst).open_batched_block(&bad) {
                         // Lazy path: tampering is latent until the trailer.
                         Ok(_) => {
-                            self.open.entry(key).or_default().poison =
+                            self.open.get_or_insert_with(key, OpenBatch::default).poison =
                                 Some((FaultKind::FlipMac, now));
                         }
                         // Caught even earlier than expected (e.g. storage
                         // guard) — still a detection.
                         Err(_) => self.detect(FaultKind::FlipMac, src, dst, now, now),
                     }
-                    self.open.entry(key).or_default().wires.push(wire.clone());
+                    self.open
+                        .get_or_insert_with(key, OpenBatch::default)
+                        .wires
+                        .push(wire.clone());
                     tampered += 1;
                 }
                 Some(FaultKind::ReplayBlock) => {
@@ -340,12 +346,15 @@ impl WireHarness {
                         Err(_) => self.detect(FaultKind::ReplayBlock, src, dst, now, now),
                         Ok(_) => self.log.record_miss(FaultKind::ReplayBlock),
                     }
-                    self.open.entry(key).or_default().wires.push(wire.clone());
+                    self.open
+                        .get_or_insert_with(key, OpenBatch::default)
+                        .wires
+                        .push(wire.clone());
                     tampered += 1;
                 }
                 Some(FaultKind::ReorderBatch) if trailer.is_none() => {
                     // Stage: withhold this block, swap it with the next.
-                    let state = self.open.entry(key).or_default();
+                    let state = self.open.get_or_insert_with(key, OpenBatch::default);
                     state.held = Some(wire.clone());
                     state.wires.push(wire.clone());
                 }
@@ -364,7 +373,10 @@ impl WireHarness {
                         }
                         Err(_) => self.log.record_false_positive(),
                     }
-                    self.open.entry(key).or_default().wires.push(wire.clone());
+                    self.open
+                        .get_or_insert_with(key, OpenBatch::default)
+                        .wires
+                        .push(wire.clone());
                 }
             }
         }
@@ -377,7 +389,7 @@ impl WireHarness {
 
     /// A batch trailer crosses the wire. Returns tampered crossings.
     fn on_trailer(&mut self, now: Cycle, src: NodeId, dst: NodeId, trailer: &BatchTrailer) -> u64 {
-        let state = self.open.remove(&(src, dst)).unwrap_or_default();
+        let state = self.open.remove(PairId::new(src, dst)).unwrap_or_default();
 
         if let Some((kind, injected_at)) = state.poison {
             // A fault latent in this batch must surface when the genuine
@@ -498,7 +510,10 @@ impl WireHarness {
         let mut tampered = 0;
         // A block withheld for reordering loses its swap partner when the
         // batch closes under it: release it clean.
-        let held = self.open.get_mut(&(src, dst)).and_then(|s| s.held.take());
+        let held = self
+            .open
+            .get_mut(PairId::new(src, dst))
+            .and_then(|s| s.held.take());
         if let Some(wire) = held {
             if self.ep(dst).open_batched_block(&wire).is_err() {
                 self.log.record_false_positive();
@@ -514,15 +529,15 @@ impl WireHarness {
     /// tampered-crossing counts.
     #[must_use]
     pub fn finish(&mut self, now: Cycle) -> Vec<(NodeId, u64)> {
-        let keys: Vec<(NodeId, NodeId)> = self.open.keys().copied().collect();
-        let mut per_src: BTreeMap<NodeId, u64> = BTreeMap::new();
-        for (src, dst) in keys {
-            let n = self.on_flush(now, src, dst);
+        let keys: Vec<PairId> = self.open.keys().collect();
+        let mut per_src: DenseNodeMap<u64> = DenseNodeMap::new();
+        for pair in keys {
+            let n = self.on_flush(now, pair.src, pair.dst);
             if n > 0 {
-                *per_src.entry(src).or_insert(0) += n;
+                *per_src.get_or_insert_with(pair.src, || 0) += n;
             }
         }
-        per_src.into_iter().collect()
+        per_src.iter().map(|(n, &count)| (n, count)).collect()
     }
 }
 

@@ -48,6 +48,10 @@ pub struct RunReport {
     /// Interval-resolved observability series; `None` unless
     /// `config.observability.enabled` was set for the run.
     pub timeline: Option<Timeline>,
+    /// Discrete events popped from the engine's queue over the run — the
+    /// denominator-free measure of engine work, used to report throughput
+    /// (events per wall-clock second) in benchmarks.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -128,6 +132,7 @@ mod tests {
             tampered_crossings: 0,
             security: SecurityEventLog::default(),
             timeline: None,
+            events_processed: 0,
         }
     }
 

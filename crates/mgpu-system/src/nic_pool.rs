@@ -9,22 +9,22 @@
 //! protected sends.
 
 use crate::node::{PreparedBlock, SecureNic};
-use mgpu_sim::link::TrafficClass;
-use mgpu_types::{ByteSize, Cycle, NodeId, SystemConfig};
-use std::collections::{BTreeMap, VecDeque};
+use mgpu_sim::link::WireParts;
+use mgpu_types::{ByteSize, Cycle, DenseNodeMap, NodeId, SystemConfig};
+use std::collections::VecDeque;
 
 /// A prepared, MAC-carrying block parked until a replay-table entry
 /// frees: `(pending index, wire parts, message counter)`.
-pub type DeferredBlock = (usize, Vec<(ByteSize, TrafficClass)>, u64);
+pub type DeferredBlock = (usize, WireParts, u64);
 
 /// Per-node security state for one simulation run.
 #[derive(Debug)]
 pub struct NicPool {
-    nics: BTreeMap<NodeId, SecureNic>,
+    nics: DenseNodeMap<SecureNic>,
     /// Free replay-table entries per sender. Signed: trailer flushes
     /// reserve unconditionally and may transiently overdraw.
-    ack_free: BTreeMap<NodeId, i64>,
-    deferred: BTreeMap<NodeId, VecDeque<DeferredBlock>>,
+    ack_free: DenseNodeMap<i64>,
+    deferred: DenseNodeMap<VecDeque<DeferredBlock>>,
 }
 
 impl NicPool {
@@ -38,7 +38,7 @@ impl NicPool {
                 .map(|n| (n, SecureNic::new(n, config)))
                 .collect()
         } else {
-            BTreeMap::new()
+            DenseNodeMap::new()
         };
         let capacity = i64::from(config.security.ack_table_entries);
         let ack_free = NodeId::all(config.gpu_count)
@@ -47,20 +47,20 @@ impl NicPool {
         NicPool {
             nics,
             ack_free,
-            deferred: BTreeMap::new(),
+            deferred: DenseNodeMap::new(),
         }
     }
 
     /// Nodes with a NIC, in ascending order.
     #[must_use]
     pub fn owners(&self) -> Vec<NodeId> {
-        self.nics.keys().copied().collect()
+        self.nics.keys().collect()
     }
 
     /// Prepares the next protected block from `owner` to `dst`.
     pub fn prepare_send(&mut self, owner: NodeId, now: Cycle, dst: NodeId) -> PreparedBlock {
         self.nics
-            .get_mut(&owner)
+            .get_mut(owner)
             .expect("owner nic")
             .prepare_send(now, dst)
     }
@@ -69,7 +69,7 @@ impl NicPool {
     /// returns when the plaintext becomes usable.
     pub fn receive(&mut self, requester: NodeId, now: Cycle, owner: NodeId, ctr: u64) -> Cycle {
         self.nics
-            .get_mut(&requester)
+            .get_mut(requester)
             .expect("requester nic")
             .receive(now, owner, ctr)
     }
@@ -78,19 +78,19 @@ impl NicPool {
     /// ablation).
     #[must_use]
     pub fn ack_bytes(&self, node: NodeId) -> ByteSize {
-        self.nics[&node].ack_bytes()
+        self.nics[node].ack_bytes()
     }
 
     /// When `owner`'s batcher next needs a timeout check (`None` when
     /// `owner` has no NIC or no open batch).
     #[must_use]
     pub fn next_flush_deadline(&self, owner: NodeId) -> Option<Cycle> {
-        self.nics.get(&owner)?.next_flush_deadline()
+        self.nics.get(owner)?.next_flush_deadline()
     }
 
     /// Flushes `owner`'s timed-out batches; empty when `owner` has no NIC.
     pub fn flush_due(&mut self, owner: NodeId, now: Cycle) -> Vec<(NodeId, ByteSize)> {
-        match self.nics.get_mut(&owner) {
+        match self.nics.get_mut(owner) {
             Some(nic) => nic.flush_due(now),
             None => Vec::new(),
         }
@@ -98,7 +98,7 @@ impl NicPool {
 
     /// Force-closes all of `owner`'s open batches (end of run).
     pub fn flush_all(&mut self, owner: NodeId) -> Vec<(NodeId, ByteSize)> {
-        self.nics.get_mut(&owner).expect("nic").flush_all()
+        self.nics.get_mut(owner).expect("nic").flush_all()
     }
 
     /// Tries to reserve a replay-table entry at `owner` for an outgoing
@@ -106,7 +106,7 @@ impl NicPool {
     /// table is full — the caller should park the block with
     /// [`NicPool::defer`].
     pub fn try_reserve_ack(&mut self, owner: NodeId) -> bool {
-        let free = self.ack_free.get_mut(&owner).expect("node exists");
+        let free = self.ack_free.get_mut(owner).expect("node exists");
         if *free <= 0 {
             return false;
         }
@@ -117,19 +117,21 @@ impl NicPool {
     /// Unconditionally reserves a replay-table entry at `owner` (batch
     /// trailer flushes are never deferred).
     pub fn reserve_ack(&mut self, owner: NodeId) {
-        *self.ack_free.get_mut(&owner).expect("node exists") -= 1;
+        *self.ack_free.get_mut(owner).expect("node exists") -= 1;
     }
 
     /// Parks a prepared block at `owner` until a table entry frees.
     pub fn defer(&mut self, owner: NodeId, block: DeferredBlock) {
-        self.deferred.entry(owner).or_default().push_back(block);
+        self.deferred
+            .get_or_insert_with(owner, VecDeque::new)
+            .push_back(block);
     }
 
     /// Releases one replay-table entry at `owner` (its ACK returned) and
     /// unparks the oldest deferred block, if any.
     pub fn release_ack(&mut self, owner: NodeId) -> Option<DeferredBlock> {
-        *self.ack_free.get_mut(&owner).expect("node exists") += 1;
-        self.deferred.get_mut(&owner)?.pop_front()
+        *self.ack_free.get_mut(owner).expect("node exists") += 1;
+        self.deferred.get_mut(owner)?.pop_front()
     }
 
     /// Advances every NIC's scheme to `now`, processing any pending
@@ -145,14 +147,14 @@ impl NicPool {
 
     /// The NICs in ascending node order (observability sampling).
     pub fn iter_nics(&self) -> impl Iterator<Item = (NodeId, &SecureNic)> {
-        self.nics.iter().map(|(&n, nic)| (n, nic))
+        self.nics.iter()
     }
 
     /// Free replay-table entries at `node` (negative while trailer
     /// flushes transiently overdraw).
     #[must_use]
     pub fn ack_free(&self, node: NodeId) -> i64 {
-        self.ack_free.get(&node).copied().unwrap_or(0)
+        self.ack_free.get(node).copied().unwrap_or(0)
     }
 
     /// Aggregated OTP statistics, pads issued, and mean batch occupancy
@@ -200,8 +202,8 @@ mod tests {
         assert!(p.try_reserve_ack(owner));
         assert!(p.try_reserve_ack(owner));
         assert!(!p.try_reserve_ack(owner), "table of 2 is full");
-        p.defer(owner, (7, vec![], 1));
-        p.defer(owner, (8, vec![], 2));
+        p.defer(owner, (7, WireParts::new(), 1));
+        p.defer(owner, (8, WireParts::new(), 2));
         let first = p.release_ack(owner).expect("oldest deferred unparks");
         assert_eq!(first.0, 7);
         let second = p.release_ack(owner).expect("next deferred unparks");

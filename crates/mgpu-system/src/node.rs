@@ -11,9 +11,8 @@ use mgpu_crypto::AesEngine;
 use mgpu_secure::batching::SenderBatcher;
 use mgpu_secure::protocol::WireFormat;
 use mgpu_secure::schemes::{build_scheme, OtpScheme, SchemeTelemetry};
-use mgpu_sim::link::TrafficClass;
-use mgpu_types::{ByteSize, Cycle, Duration, NodeId, SystemConfig};
-use std::collections::BTreeMap;
+use mgpu_sim::link::{TrafficClass, WireParts};
+use mgpu_types::{ByteSize, Cycle, DenseNodeMap, Duration, NodeId, SystemConfig};
 
 /// What the NIC decided for one outgoing block.
 #[derive(Debug, Clone)]
@@ -23,7 +22,7 @@ pub struct PreparedBlock {
     /// The message counter carried by the block.
     pub counter: u64,
     /// Wire components to transmit together with the data.
-    pub parts: Vec<(ByteSize, TrafficClass)>,
+    pub parts: WireParts,
     /// `true` when this block closed a batch (or is unbatched): exactly
     /// these blocks trigger an ACK from the receiver.
     pub acks: bool,
@@ -37,7 +36,7 @@ pub struct SecureNic {
     batching: bool,
     charge_metadata: bool,
     batcher: SenderBatcher,
-    open_counts: BTreeMap<NodeId, u32>,
+    open_counts: DenseNodeMap<u32>,
     batch_size: u32,
 }
 
@@ -69,7 +68,7 @@ impl SecureNic {
             batching: b.enabled,
             charge_metadata: config.security.charge_metadata_traffic,
             batcher: SenderBatcher::new(b.batch_size, b.flush_timeout),
-            open_counts: BTreeMap::new(),
+            open_counts: DenseNodeMap::new(),
             batch_size: b.batch_size,
         }
     }
@@ -88,24 +87,24 @@ impl SecureNic {
         let exposed = outcome.timing.exposed_latency(self.engine.latency());
         let ready = now + exposed;
 
-        let mut parts = vec![(self.wire.header + self.wire.block, TrafficClass::Data)];
+        let mut parts = WireParts::of(self.wire.header + self.wire.block, TrafficClass::Data);
         let acks;
         if !self.charge_metadata {
             // +SecureCommu ablation: latency modeled, metadata bytes free,
             // and no ACK bandwidth either.
             acks = false;
         } else if self.batching {
-            let index = *self.open_counts.get(&dst).unwrap_or(&0);
-            parts.push((
+            let index = self.open_counts.get(dst).copied().unwrap_or(0);
+            parts.push(
                 self.wire.msg_ctr + self.wire.sender_id,
                 TrafficClass::Counter,
-            ));
+            );
             if index == 0 {
-                parts.push((self.wire.batch_len, TrafficClass::BatchHeader));
+                parts.push(self.wire.batch_len, TrafficClass::BatchHeader);
             }
             let closed = self.batcher.add_block(now, dst, [0; 8]);
             if closed.is_some() {
-                parts.push((self.wire.msg_mac, TrafficClass::Mac));
+                parts.push(self.wire.msg_mac, TrafficClass::Mac);
                 self.open_counts.insert(dst, 0);
                 acks = true;
             } else {
@@ -113,9 +112,9 @@ impl SecureNic {
                 acks = false;
             }
         } else {
-            parts.push((self.wire.msg_ctr, TrafficClass::Counter));
-            parts.push((self.wire.msg_mac, TrafficClass::Mac));
-            parts.push((self.wire.sender_id, TrafficClass::SenderId));
+            parts.push(self.wire.msg_ctr, TrafficClass::Counter);
+            parts.push(self.wire.msg_mac, TrafficClass::Mac);
+            parts.push(self.wire.sender_id, TrafficClass::SenderId);
             acks = true;
         }
         PreparedBlock {

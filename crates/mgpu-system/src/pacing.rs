@@ -8,7 +8,7 @@
 //! A stalled GPU pushes all of its later work back — like a real kernel
 //! whose wavefronts cannot run ahead of their data.
 
-use mgpu_types::{Cycle, Duration, NodeId};
+use mgpu_types::{Cycle, DenseNodeMap, Duration, NodeId};
 use mgpu_workloads::Request;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -29,11 +29,11 @@ pub enum IssueDecision {
 /// Per-node issue state for one simulation run.
 #[derive(Debug)]
 pub struct IssuePacer {
-    gaps: BTreeMap<NodeId, VecDeque<Duration>>,
-    reqs: BTreeMap<NodeId, VecDeque<Request>>,
+    gaps: DenseNodeMap<VecDeque<Duration>>,
+    reqs: DenseNodeMap<VecDeque<Request>>,
     /// Virtual time: when the node's previous request issued.
-    vt: BTreeMap<NodeId, Cycle>,
-    free_slots: BTreeMap<NodeId, u32>,
+    vt: DenseNodeMap<Cycle>,
+    free_slots: DenseNodeMap<u32>,
 }
 
 impl IssuePacer {
@@ -42,19 +42,19 @@ impl IssuePacer {
     /// gaps; every node starts with `slots` free issue slots.
     #[must_use]
     pub fn new(queues: BTreeMap<NodeId, VecDeque<Request>>, slots: u32) -> Self {
-        let mut gaps: BTreeMap<NodeId, VecDeque<Duration>> = BTreeMap::new();
-        let mut reqs: BTreeMap<NodeId, VecDeque<Request>> = BTreeMap::new();
+        let mut gaps: DenseNodeMap<VecDeque<Duration>> = DenseNodeMap::new();
+        let mut reqs: DenseNodeMap<VecDeque<Request>> = DenseNodeMap::new();
         for (node, queue) in queues {
             let mut prev = Cycle::ZERO;
-            let g: &mut VecDeque<Duration> = gaps.entry(node).or_default();
+            let g = gaps.get_or_insert_with(node, VecDeque::new);
             for r in &queue {
                 g.push_back(r.available_at.saturating_since(prev));
                 prev = r.available_at;
             }
             reqs.insert(node, queue);
         }
-        let vt = reqs.keys().map(|&n| (n, Cycle::ZERO)).collect();
-        let free_slots = reqs.keys().map(|&n| (n, slots)).collect();
+        let vt = reqs.keys().map(|n| (n, Cycle::ZERO)).collect();
+        let free_slots = reqs.keys().map(|n| (n, slots)).collect();
         IssuePacer {
             gaps,
             reqs,
@@ -65,37 +65,37 @@ impl IssuePacer {
 
     /// The nodes with request queues, in ascending order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.reqs.keys().copied()
+        self.reqs.keys()
     }
 
     /// Polls `node` for an issue at `now`. Idempotent: every condition is
     /// re-checked at call time, so stale polls are harmless.
     pub fn poll(&mut self, node: NodeId, now: Cycle) -> IssueDecision {
-        let Some(front_gap) = self.gaps[&node].front().copied() else {
+        let Some(front_gap) = self.gaps[node].front().copied() else {
             return IssueDecision::Drained;
         };
-        let avail = self.vt[&node] + front_gap;
+        let avail = self.vt[node] + front_gap;
         if avail > now {
             return IssueDecision::NotBefore(avail);
         }
-        if self.free_slots[&node] == 0 {
+        if self.free_slots[node] == 0 {
             return IssueDecision::Stalled;
         }
         let request = self
             .reqs
-            .get_mut(&node)
+            .get_mut(node)
             .expect("queue exists")
             .pop_front()
             .expect("gap implies request");
-        self.gaps.get_mut(&node).expect("gaps exist").pop_front();
+        self.gaps.get_mut(node).expect("gaps exist").pop_front();
         self.vt.insert(node, now);
-        *self.free_slots.get_mut(&node).expect("slots exist") -= 1;
+        *self.free_slots.get_mut(node).expect("slots exist") -= 1;
         IssueDecision::Issue(request)
     }
 
     /// Returns `node`'s issue slot after one of its requests completes.
     pub fn complete(&mut self, node: NodeId) {
-        *self.free_slots.get_mut(&node).expect("slots exist") += 1;
+        *self.free_slots.get_mut(node).expect("slots exist") += 1;
     }
 }
 

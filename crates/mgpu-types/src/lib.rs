@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dense;
 pub mod error;
 pub mod ids;
 pub mod units;
@@ -29,6 +30,7 @@ pub use config::{
     AdversaryConfig, BatchingConfig, DynamicConfig, ObservabilityConfig, OtpSchemeKind,
     SecurityConfig, SystemConfig, TopologyKind,
 };
+pub use dense::{DenseNodeMap, PairTable};
 pub use error::{ConfigError, MgpuError};
 pub use ids::{Direction, NodeId, PairId};
 pub use units::{ByteSize, Cycle, Duration};
