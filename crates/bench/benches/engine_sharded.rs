@@ -1,0 +1,78 @@
+//! Sharded-engine throughput: the window-synchronized multi-thread
+//! event loop against the single-thread engine on the same cell.
+//!
+//! One cell — the 64-GPU radix-4 switch under Dynamic+Batching, the
+//! shape the `topology_scaling` scale-out sweep leans on — timed at
+//! shards ∈ {1, 4}. Both configurations produce bit-identical
+//! `RunReport`s (asserted here before timing anything), so the two
+//! `engine-events-per-sec` lines measure pure engine cost: the shards=1
+//! line tracks the single-thread reference, the shards=4 line tracks
+//! sharding overhead (window barriers, mailbox merges, lineage-stamp
+//! comparisons) plus whatever physical parallelism the runner offers.
+//! CI's bench-smoke gate parses both lines against the floors in
+//! `crates/bench/engine-floor.txt`; the shards=4 floor is set low
+//! enough to hold even on a single-core runner, where the sharded
+//! engine pays its synchronization overhead with no cores to win back.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgpu_system::runner::configs;
+use mgpu_system::Simulation;
+use mgpu_types::{SystemConfig, TopologyKind};
+use mgpu_workloads::Benchmark;
+use std::time::Instant;
+
+/// The benchmark cell: 64 GPUs, two-level radix-4 switch, full
+/// Dynamic+Batching scheme.
+fn cell() -> SystemConfig {
+    let mut base = SystemConfig::paper_4gpu();
+    base.gpu_count = 64;
+    let base = base.with_topology(TopologyKind::Switch { radix: 4 });
+    configs::batching(&base, 4)
+}
+
+/// Remote requests per GPU — scaled like the topology scale-out sweep
+/// so one run stays in the low milliseconds.
+const REQUESTS: usize = 25;
+
+fn run(shards: u16) -> mgpu_system::RunReport {
+    Simulation::new(cell(), Benchmark::MatrixTranspose, 42)
+        .with_shards(shards)
+        .run_for_requests(REQUESTS)
+}
+
+fn bench_engine_sharded(c: &mut Criterion) {
+    // The bit-for-bit contract, checked before any timing: a floor gate
+    // on a diverging engine would be measuring the wrong thing.
+    let reference = format!("{:?}", run(1));
+    assert_eq!(
+        reference,
+        format!("{:?}", run(4)),
+        "sharded engine diverged from the single-thread engine"
+    );
+
+    let mut group = c.benchmark_group("engine-sharded");
+    group.sample_size(10);
+    for shards in [1u16, 4] {
+        let label = format!("64gpu-switch-shards{shards}");
+        // Timed pre-runs derive events/sec for the CI floor gate, best
+        // of five (peak throughput is far more stable than any single
+        // sample on a noisy runner — same protocol as `engine.rs`).
+        let mut best = 0.0f64;
+        let mut events = 0u64;
+        for _ in 0..5 {
+            let started = Instant::now();
+            let report = run(shards);
+            let seconds = started.elapsed().as_secs_f64();
+            events = report.events_processed;
+            best = best.max(report.events_processed as f64 / seconds.max(f64::EPSILON));
+        }
+        println!("engine-events-per-sec {label} {best:.0} ({events} events per run, best of 5)");
+        group.bench_function(format!("cell-mt-{REQUESTS}req-{label}"), |b| {
+            b.iter(|| run(shards));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_sharded);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 
 use crate::common::{self, Mode};
 use crate::report::{ratio, Table};
-use mgpu_system::runner::{compare_schemes, configs, SchemeResult};
+use mgpu_system::runner::{compare_schemes, compare_schemes_with, configs, SchemeResult};
 use mgpu_types::{SystemConfig, TopologyKind};
 use mgpu_workloads::Benchmark;
 
@@ -27,6 +27,39 @@ const SHAPES: [TopologyKind; 3] = [
 /// System sizes swept (the paper's 4-GPU system plus its scale-out
 /// points, Figs. 24–25).
 const GPU_COUNTS: [u16; 3] = [4, 8, 16];
+
+/// Scale-out sizes past the paper's sweep. These run on the sharded
+/// engine and sweep only [`LARGE_SHAPES`]: the ring's O(gpus) hop count
+/// would dominate runtime above 16 GPUs without adding signal, while the
+/// switch hierarchy (≤ 3 switch hops at any size) is the shape real
+/// scale-out fabrics take.
+const LARGE_GPU_COUNTS: [u16; 3] = [32, 64, 128];
+
+/// Shapes swept at the [`LARGE_GPU_COUNTS`] scales: the switch hierarchy
+/// under test plus the fully-connected amplification reference.
+const LARGE_SHAPES: [TopologyKind; 2] = [
+    TopologyKind::FullyConnected,
+    TopologyKind::Switch { radix: 4 },
+];
+
+/// Shards used for the scale-out cells. Four is enough to exercise the
+/// window-synchronized engine (cross-shard mailboxes, lineage-stamp
+/// merges) while staying within the oversubscription clamp on small
+/// hosts; results are bit-identical at any shard count, so this only
+/// affects wall-clock.
+const LARGE_SHARDS: u16 = 4;
+
+/// Remote requests per GPU for one sweep cell: the mode's budget at the
+/// paper scales, scaled down above 16 GPUs so total injected work per
+/// cell stays roughly constant (`gpus × requests ≈ 16 × budget`).
+fn requests_for(gpus: u16, mode: Mode) -> usize {
+    let budget = mode.requests();
+    if gpus <= 16 {
+        budget
+    } else {
+        (budget * 16 / usize::from(gpus)).max(8)
+    }
+}
 
 /// The paper-parameter base config for `gpus` GPUs.
 fn base_for(gpus: u16) -> SystemConfig {
@@ -62,16 +95,29 @@ fn benches(mode: Mode) -> &'static [Benchmark] {
 }
 
 /// One sweep cell: scheme results for `gpus` GPUs on `kind`, summed over
-/// the mode's benchmarks.
+/// the mode's benchmarks. The scale-out sizes run on the sharded engine
+/// ([`LARGE_SHARDS`]); the paper scales keep the process-wide default
+/// (`MGPU_SHARDS`, single-threaded unless overridden).
 fn sweep_cell(gpus: u16, kind: TopologyKind, mode: Mode) -> Vec<(String, u64, u64, u64)> {
     let base = base_for(gpus).with_topology(kind);
     let schemes = scheme_set(&base);
+    let shards = if gpus > 16 {
+        LARGE_SHARDS
+    } else {
+        mgpu_system::default_shards()
+    };
     let mut out: Vec<(String, u64, u64, u64)> = schemes
         .iter()
         .map(|(label, _)| (label.clone(), 0, 0, 0))
         .collect();
     for &bench in benches(mode) {
-        let results = compare_schemes(bench, &schemes, mode.requests(), common::SEED);
+        let results = compare_schemes_with(
+            bench,
+            &schemes,
+            requests_for(gpus, mode),
+            common::SEED,
+            shards,
+        );
         for (slot, r) in out.iter_mut().zip(&results) {
             slot.1 += r.report.total_cycles.as_u64();
             slot.2 += r.report.traffic.total().as_u64();
@@ -99,35 +145,45 @@ pub fn topology_scaling(mode: Mode) -> Vec<Table> {
         ],
     );
     for &gpus in &GPU_COUNTS {
-        // Fully-connected first: the amplification reference.
-        let reference = sweep_cell(gpus, TopologyKind::FullyConnected, mode);
-        for &kind in &SHAPES {
-            let cells = if kind == TopologyKind::FullyConnected {
-                reference.clone()
-            } else {
-                sweep_cell(gpus, kind, mode)
-            };
-            for ((label, cycles, total, metadata), (_, _, _, ref_metadata)) in
-                cells.iter().zip(&reference)
-            {
-                let amp = if *ref_metadata > 0 {
-                    *metadata as f64 / *ref_metadata as f64
-                } else {
-                    1.0
-                };
-                table.add_row(vec![
-                    gpus.to_string(),
-                    kind.to_string(),
-                    label.clone(),
-                    cycles.to_string(),
-                    total.to_string(),
-                    metadata.to_string(),
-                    ratio(amp),
-                ]);
-            }
-        }
+        push_scale(&mut table, gpus, &SHAPES, mode);
+    }
+    for &gpus in &LARGE_GPU_COUNTS {
+        push_scale(&mut table, gpus, &LARGE_SHAPES, mode);
     }
     vec![table]
+}
+
+/// Appends one system size's rows to the sweep table: every shape in
+/// `shapes`, with metadata amplification computed against the
+/// fully-connected reference of the same size and scheme.
+fn push_scale(table: &mut Table, gpus: u16, shapes: &[TopologyKind], mode: Mode) {
+    // Fully-connected first: the amplification reference.
+    let reference = sweep_cell(gpus, TopologyKind::FullyConnected, mode);
+    for &kind in shapes {
+        let cells = if kind == TopologyKind::FullyConnected {
+            reference.clone()
+        } else {
+            sweep_cell(gpus, kind, mode)
+        };
+        for ((label, cycles, total, metadata), (_, _, _, ref_metadata)) in
+            cells.iter().zip(&reference)
+        {
+            let amp = if *ref_metadata > 0 {
+                *metadata as f64 / *ref_metadata as f64
+            } else {
+                1.0
+            };
+            table.add_row(vec![
+                gpus.to_string(),
+                kind.to_string(),
+                label.clone(),
+                cycles.to_string(),
+                total.to_string(),
+                metadata.to_string(),
+                ratio(amp),
+            ]);
+        }
+    }
 }
 
 /// The `ring8_smoke` experiment: a fast end-to-end `compare_schemes` run
@@ -218,12 +274,41 @@ mod tests {
     fn table_covers_the_full_sweep() {
         let tables = topology_scaling(Mode::Bench);
         assert_eq!(tables.len(), 1);
-        // 3 GPU counts x 3 shapes x 3 schemes.
-        assert_eq!(tables[0].len(), 27);
-        let text = tables[0].to_text();
-        assert!(text.contains("ring"));
-        assert!(text.contains("switch-r4"));
-        assert!(text.contains("fully-connected"));
+        // Paper scales: 3 GPU counts x 3 shapes x 3 schemes. Scale-out:
+        // 3 GPU counts x 2 shapes x 3 schemes.
+        assert_eq!(tables[0].len(), 27 + 18);
+        let csv = tables[0].to_csv();
+        assert!(csv.contains("ring"));
+        assert!(csv.contains("switch-r4"));
+        assert!(csv.contains("fully-connected"));
+        // Every scale-out size reports a sharded switch cell per scheme.
+        for gpus in LARGE_GPU_COUNTS {
+            for scheme in ["private", "dynamic", "batching"] {
+                assert!(
+                    csv.contains(&format!("{gpus},switch-r4,{scheme},")),
+                    "missing {gpus}-GPU switch row for {scheme}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_out_requests_shrink_with_size() {
+        assert_eq!(requests_for(16, Mode::Bench), Mode::Bench.requests());
+        assert_eq!(requests_for(32, Mode::Full), 500);
+        assert_eq!(requests_for(128, Mode::Full), 125);
+        // The floor keeps tiny modes from starving the largest fabrics.
+        assert!(requests_for(128, Mode::Bench) >= 8);
+    }
+
+    #[test]
+    fn scale_out_switch_cell_amplifies_metadata() {
+        // The 32-GPU sharded switch cell must complete and show the same
+        // routed-fabric amplification the paper scales show.
+        let fc = sweep_cell(32, TopologyKind::FullyConnected, Mode::Bench);
+        let sw = sweep_cell(32, TopologyKind::Switch { radix: 4 }, Mode::Bench);
+        assert!(metadata_of(&sw, "private") > metadata_of(&fc, "private"));
+        assert!(metadata_of(&sw, "batching") > 0);
     }
 
     #[test]

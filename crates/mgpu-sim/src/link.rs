@@ -324,6 +324,15 @@ impl Link {
         self.bytes_per_cycle
     }
 
+    /// Propagation latency of this link — the minimum time any message
+    /// spends in flight, independent of serialization. Conservative
+    /// parallel simulation uses the minimum latency over shard-crossing
+    /// links as its synchronization lookahead.
+    #[must_use]
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
     /// Records `n` adversary-tampered crossings on this link. Tampering
     /// does not change the timing model (the attacker rewrites bytes in
     /// flight); the counter feeds security reporting.

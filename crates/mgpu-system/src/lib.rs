@@ -35,14 +35,15 @@ pub mod nic_pool;
 pub mod node;
 pub mod pacing;
 pub mod runner;
+mod sharded;
 pub mod simulation;
 pub mod timeseries;
 
 pub use fabric::Fabric;
 pub use harness::WireHarness;
 pub use metrics::RunReport;
-pub use runner::{compare_schemes, normalized_time, SchemeResult};
-pub use simulation::Simulation;
+pub use runner::{compare_schemes, compare_schemes_with, normalized_time, SchemeResult};
+pub use simulation::{default_shards, set_default_shards, Simulation};
 pub use timeseries::{
     FabricSample, IntervalSample, TimeSeriesCollector, Timeline, TimelineSummary, TraceEvent,
     TraceRecord,

@@ -18,16 +18,22 @@ use std::collections::VecDeque;
 pub type DeferredBlock = (usize, WireParts, u64);
 
 /// Per-node security state for one simulation run.
+///
+/// Generic over the deferred-block payload `D`: the single-thread engine
+/// parks `(pending index, wire parts, counter)` tuples ([`DeferredBlock`],
+/// the default), while the sharded engine parks its self-describing
+/// request tokens. Everything except [`NicPool::defer`] /
+/// [`NicPool::release_ack`] is payload-agnostic.
 #[derive(Debug)]
-pub struct NicPool {
+pub struct NicPool<D = DeferredBlock> {
     nics: DenseNodeMap<SecureNic>,
     /// Free replay-table entries per sender. Signed: trailer flushes
     /// reserve unconditionally and may transiently overdraw.
     ack_free: DenseNodeMap<i64>,
-    deferred: DenseNodeMap<VecDeque<DeferredBlock>>,
+    deferred: DenseNodeMap<VecDeque<D>>,
 }
 
-impl NicPool {
+impl<D> NicPool<D> {
     /// Builds the pool. With `secure` false no NICs are instantiated
     /// (unsecure baseline), but the ACK-table counters still exist so the
     /// ablation paths can exercise them.
@@ -48,6 +54,45 @@ impl NicPool {
             nics,
             ack_free,
             deferred: DenseNodeMap::new(),
+        }
+    }
+
+    /// Builds a pool whose NICs cover only `owned` (a shard's node
+    /// partition). ACK-table counters still exist for every node — they
+    /// are cheap, and only the owning shard ever touches an entry.
+    #[must_use]
+    pub fn for_nodes(config: &SystemConfig, secure: bool, owned: &[NodeId]) -> Self {
+        let nics = if secure {
+            owned
+                .iter()
+                .map(|&n| (n, SecureNic::new(n, config)))
+                .collect()
+        } else {
+            DenseNodeMap::new()
+        };
+        let capacity = i64::from(config.security.ack_table_entries);
+        let ack_free = NodeId::all(config.gpu_count)
+            .map(|n| (n, capacity))
+            .collect();
+        NicPool {
+            nics,
+            ack_free,
+            deferred: DenseNodeMap::new(),
+        }
+    }
+
+    /// Takes ownership of `owned`'s per-node state from `other` (a shard
+    /// pool being folded back into the coordinator's merged pool at end of
+    /// run). Deferred queues are not carried over: a drained run has no
+    /// parked blocks left.
+    pub fn absorb<D2>(&mut self, other: &mut NicPool<D2>, owned: &[NodeId]) {
+        for &n in owned {
+            if let Some(nic) = other.nics.remove(n) {
+                self.nics.insert(n, nic);
+            }
+            if let Some(&free) = other.ack_free.get(n) {
+                self.ack_free.insert(n, free);
+            }
         }
     }
 
@@ -121,7 +166,7 @@ impl NicPool {
     }
 
     /// Parks a prepared block at `owner` until a table entry frees.
-    pub fn defer(&mut self, owner: NodeId, block: DeferredBlock) {
+    pub fn defer(&mut self, owner: NodeId, block: D) {
         self.deferred
             .get_or_insert_with(owner, VecDeque::new)
             .push_back(block);
@@ -129,7 +174,7 @@ impl NicPool {
 
     /// Releases one replay-table entry at `owner` (its ACK returned) and
     /// unparks the oldest deferred block, if any.
-    pub fn release_ack(&mut self, owner: NodeId) -> Option<DeferredBlock> {
+    pub fn release_ack(&mut self, owner: NodeId) -> Option<D> {
         *self.ack_free.get_mut(owner).expect("node exists") += 1;
         self.deferred.get_mut(owner)?.pop_front()
     }
@@ -230,7 +275,7 @@ mod tests {
     #[test]
     fn unsecure_pool_has_no_nics_but_keeps_tables() {
         let cfg = SystemConfig::paper_4gpu();
-        let mut p = NicPool::new(&cfg, false);
+        let mut p: NicPool = NicPool::new(&cfg, false);
         assert!(p.owners().is_empty());
         assert!(p.flush_due(NodeId::gpu(1), Cycle::ZERO).is_empty());
         assert!(p.try_reserve_ack(NodeId::gpu(1)));

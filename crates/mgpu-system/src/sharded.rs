@@ -1,0 +1,787 @@
+//! The sharded (multi-threaded) variant of the event loop.
+//!
+//! The single-thread engine in [`crate::simulation`] is the reference
+//! semantics; this module reproduces it *bit for bit* across worker
+//! threads using conservative time-window synchronization:
+//!
+//! * Nodes (with their NICs, HBM, pacer queues and fabric ports) are
+//!   partitioned contiguously across shards by
+//!   [`mgpu_sim::routing::ShardMap`]; switches ride with their first
+//!   attached GPU. Every resource has exactly one owning shard, so the
+//!   hot path has **no shared mutable state** — shards only exchange
+//!   messages at window barriers.
+//! * Every cross-shard event edge (control messages, block hops, ACKs)
+//!   crosses a link with propagation latency at least `L =
+//!   config.link_latency` (asserted against
+//!   [`mgpu_sim::topology::Topology::min_crossing_latency`]). `L` is the
+//!   *lookahead*: a message created inside the window `[T, T + L)` fires
+//!   at or after `T + L`, i.e. never inside the window. Shards therefore
+//!   run freely within each window and exchange outboxes at the barrier.
+//! * Events are ordered by creation-lineage [`Stamp`]s: same-shard pairs
+//!   compare by the shard's private creation counter (exactly the local
+//!   slice of the single-thread FIFO order), cross-shard pairs by
+//!   creation cycle and then recursively by the creating events' own
+//!   stamps, bottoming out at globally agreed root ranks. This
+//!   reproduces the single-thread `(fire, seq)` pop order *exactly* —
+//!   including same-cycle issue cadences that stay in creation-cycle
+//!   lockstep across shards for arbitrarily many generations (verified
+//!   by the golden-parity matrix and the shard-invariance property test;
+//!   see DESIGN.md §11).
+//!
+//! Observability runs with per-shard collectors scoped to each shard's
+//! ports; [`TimeSeriesCollector::merge_shards`] re-interleaves samples
+//! and trace records into single-thread order. Adversarial runs force
+//! one shard (the wire harness is a single functional pipeline), as do
+//! sampling intervals shorter than the lookahead.
+
+use crate::fabric::{Fabric, HopOutcome, Transit};
+use crate::harness::WireHarness;
+use crate::metrics::RunReport;
+use crate::nic_pool::NicPool;
+use crate::pacing::{IssueDecision, IssuePacer};
+use crate::simulation::{drain_open_batches, Simulation};
+use crate::timeseries::TimeSeriesCollector;
+use mgpu_sim::dram::Hbm;
+use mgpu_sim::events::{ShardQueue, Stamp};
+use mgpu_sim::link::{TrafficClass, TrafficTotals, WireParts};
+use mgpu_sim::routing::ShardMap;
+use mgpu_types::{ByteSize, Cycle, DenseNodeMap, Duration, NodeId, PairId, SystemConfig};
+use mgpu_workloads::Request;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Self-describing request token carried by every per-request event.
+///
+/// The single-thread engine indexes one global `pending` vector; shards
+/// cannot share one, so the token carries the routing facts every handler
+/// needs (`requester`, `owner`, original block count) plus the index into
+/// the *requester shard's* pending table for the completion bookkeeping.
+/// `blocks` is safe to carry by value: no `BlockDone` for a request can
+/// precede its `ReqArrive`/`DataReady`, so the remaining count at those
+/// handlers always equals the original.
+#[derive(Debug, Clone, Copy)]
+struct ReqToken {
+    idx: u32,
+    requester: NodeId,
+    owner: NodeId,
+    blocks: u32,
+}
+
+/// Deferred-send payload of the sharded engine (see
+/// [`crate::nic_pool::DeferredBlock`] for the single-thread equivalent).
+type Deferred = (ReqToken, WireParts, u64);
+
+/// A cross-shard message: an event plus its fire time and stamp.
+type Msg = (Cycle, Stamp, SEv);
+
+/// Sharded mirror of [`crate::simulation`]'s event set, with
+/// self-describing tokens instead of global pending indices.
+enum SEv {
+    /// Attempt to issue the requester's next queued request.
+    TryIssue(NodeId),
+    /// Request packet arrived at the owner.
+    ReqArrive(ReqToken),
+    /// HBM produced the data at the owner.
+    DataReady(ReqToken),
+    /// An encrypted block is ready for the owner's egress port.
+    BlockEgress {
+        tok: ReqToken,
+        parts: WireParts,
+        counter: u64,
+        acks: bool,
+    },
+    /// The block's bytes reached the ingress of the next waypoint.
+    BlockIngress {
+        tok: ReqToken,
+        transit: Transit,
+        counter: u64,
+        acks: bool,
+    },
+    /// The block cleared the destination ingress; receive-side crypto.
+    BlockRecv {
+        tok: ReqToken,
+        counter: u64,
+        acks: bool,
+    },
+    /// The block's data became usable at the requester.
+    BlockDone { tok: ReqToken, acks: bool },
+    /// An ACK reached the original sender: free a replay-table entry.
+    AckArrive(NodeId),
+    /// Check a node's batcher for timeout flushes.
+    FlushCheck(NodeId),
+    /// A flushed batch's trailer arrived: the receiver ACKs it.
+    TrailerAck { receiver: NodeId, owner: NodeId },
+    /// Observability boundary replica. Every shard runs one in lockstep
+    /// (sampling its own scope); only shard 0 counts it as an event.
+    Sample,
+}
+
+impl SEv {
+    fn name(&self) -> &'static str {
+        match self {
+            SEv::TryIssue(_) => "TryIssue",
+            SEv::ReqArrive(_) => "ReqArrive",
+            SEv::DataReady(_) => "DataReady",
+            SEv::BlockEgress { .. } => "BlockEgress",
+            SEv::BlockIngress { .. } => "BlockIngress",
+            SEv::BlockRecv { .. } => "BlockRecv",
+            SEv::BlockDone { .. } => "BlockDone",
+            SEv::AckArrive(_) => "AckArrive",
+            SEv::FlushCheck(_) => "FlushCheck",
+            SEv::TrailerAck { .. } => "TrailerAck",
+            SEv::Sample => "Sample",
+        }
+    }
+}
+
+/// Synchronization state shared by all shards of one run. Every field is
+/// only touched between windows (Mutex, never contended on the hot path).
+struct Shared {
+    /// Earliest pending fire time per shard, published before barrier A.
+    mins: Vec<Mutex<Option<Cycle>>>,
+    /// `(replica_popped, live)` per shard, published after each window:
+    /// whether the shard popped its Sample replica, and whether any work
+    /// remained at that pop (local queue or outbound messages).
+    winfo: Vec<Mutex<(bool, bool)>>,
+    /// `mail[src][dst]`: messages created by `src` for `dst`, deposited
+    /// after the window, drained by `dst` before the next.
+    mail: Vec<Vec<Mutex<Vec<Msg>>>>,
+    barrier: Barrier,
+    /// Conservative lookahead: minimum latency of any cross-shard edge.
+    lookahead: Duration,
+}
+
+/// Per-request completion bookkeeping local to the requester's shard.
+struct PendingSlot {
+    blocks_left: u32,
+    issued_at: Cycle,
+}
+
+/// Counters each shard accumulates for the merged [`RunReport`].
+struct Stats {
+    completion: Cycle,
+    sum_latency: Duration,
+    last_issue: Cycle,
+    requests_done: u64,
+    blocks_done: u64,
+    acks_sent: u64,
+    events_processed: u64,
+}
+
+/// One worker shard: the owned slice of every engine resource plus its
+/// own stamped event queue.
+struct Shard<'a> {
+    id: u16,
+    secure: bool,
+    batching: bool,
+    link_latency: Duration,
+    sample_every: Duration,
+    wire: mgpu_secure::protocol::WireFormat,
+    map: &'a ShardMap,
+    owned: &'a [NodeId],
+    fabric: Fabric,
+    hbm: DenseNodeMap<Hbm>,
+    pool: NicPool<Deferred>,
+    pacer: IssuePacer,
+    armed: DenseNodeMap<Option<Cycle>>,
+    queue: ShardQueue<SEv>,
+    /// Shard-local event creation counter (the `seq` of new stamps).
+    seq: u64,
+    pending: Vec<PendingSlot>,
+    collector: Option<TimeSeriesCollector>,
+    /// Messages for other shards created during the current window.
+    outbox: Vec<Vec<Msg>>,
+    /// The next Sample replica, reserved at this boundary's pop and
+    /// injected (or dropped) once all shards' liveness is known.
+    pending_replica: Option<(Cycle, Stamp)>,
+    /// `(replica_popped, live)` for the current window.
+    replica_flags: (bool, bool),
+    stats: Stats,
+}
+
+impl Shard<'_> {
+    /// The shard whose state `ev`'s handler touches.
+    fn dest_of(&self, ev: &SEv) -> u16 {
+        match ev {
+            SEv::TryIssue(node) => self.map.of_node(*node),
+            SEv::ReqArrive(tok) | SEv::DataReady(tok) => self.map.of_node(tok.owner),
+            SEv::BlockEgress { tok, .. } => self.map.of_node(tok.owner),
+            SEv::BlockIngress { transit, .. } => {
+                let route = self.fabric.topology().routes().route(transit.pair());
+                self.map.of_waypoint(route[transit.hop()])
+            }
+            SEv::BlockRecv { tok, .. } | SEv::BlockDone { tok, .. } => {
+                self.map.of_node(tok.requester)
+            }
+            SEv::AckArrive(owner) | SEv::FlushCheck(owner) => self.map.of_node(*owner),
+            SEv::TrailerAck { receiver, .. } => self.map.of_node(*receiver),
+            SEv::Sample => self.id,
+        }
+    }
+
+    /// Schedules `ev` at `fire`, stamped as created by the handler of the
+    /// event stamped `parent` firing at `now` — locally when this shard
+    /// owns the destination state, into the outbox otherwise.
+    fn sched(&mut self, parent: &Arc<Stamp>, now: Cycle, fire: Cycle, ev: SEv) {
+        let stamp = Stamp::child(parent, now, self.id, self.seq);
+        self.seq += 1;
+        let dst = self.dest_of(&ev);
+        if dst == self.id {
+            self.queue.schedule(fire, stamp, ev);
+        } else {
+            self.outbox[usize::from(dst)].push((fire, stamp, ev));
+        }
+    }
+
+    /// Handles one popped event — a transliteration of the single-thread
+    /// match arms with pending-index lookups replaced by token fields.
+    #[allow(clippy::too_many_lines)]
+    fn handle(&mut self, now: Cycle, stamp: Stamp, ev: SEv) {
+        // Children share the handled event's stamp as their lineage
+        // parent; one allocation per pop, shared by every child.
+        let stamp = Arc::new(stamp);
+        let stamp = &stamp;
+        let is_sample = matches!(ev, SEv::Sample);
+        if let Some(col) = self.collector.as_mut() {
+            col.set_record_key(now, Stamp::clone(stamp));
+            if !is_sample || self.id == 0 {
+                col.note_event(ev.name());
+            }
+        }
+        if !is_sample || self.id == 0 {
+            self.stats.events_processed += 1;
+        }
+        match ev {
+            SEv::TryIssue(node) => {
+                if self.armed[node] == Some(now) {
+                    self.armed.insert(node, None);
+                }
+                match self.pacer.poll(node, now) {
+                    IssueDecision::Drained | IssueDecision::Stalled => {}
+                    IssueDecision::NotBefore(avail) => {
+                        if self.armed[node].is_none() {
+                            self.sched(stamp, now, avail, SEv::TryIssue(node));
+                            self.armed.insert(node, Some(avail));
+                        }
+                    }
+                    IssueDecision::Issue(request) => {
+                        self.stats.last_issue = self.stats.last_issue.max(now);
+                        let tok = ReqToken {
+                            idx: u32::try_from(self.pending.len()).expect("pending fits u32"),
+                            requester: request.requester,
+                            owner: request.target,
+                            blocks: request.kind.blocks(),
+                        };
+                        self.pending.push(PendingSlot {
+                            blocks_left: tok.blocks,
+                            issued_at: now,
+                        });
+                        let to_owner = PairId::new(request.requester, request.target);
+                        let arrive = self.fabric.transmit_ctrl(
+                            to_owner,
+                            now,
+                            &[(self.wire.request, TrafficClass::Data)],
+                        );
+                        self.sched(stamp, now, arrive, SEv::ReqArrive(tok));
+                        self.sched(stamp, now, now, SEv::TryIssue(node));
+                    }
+                }
+            }
+            SEv::ReqArrive(tok) => {
+                let payload = if tok.blocks > 1 {
+                    ByteSize::PAGE
+                } else {
+                    ByteSize::CACHELINE
+                };
+                let data_ready = self
+                    .hbm
+                    .get_mut(tok.owner)
+                    .expect("owner within shard")
+                    .access(now, payload);
+                self.sched(stamp, now, data_ready, SEv::DataReady(tok));
+            }
+            SEv::DataReady(tok) => {
+                if self.secure {
+                    for _ in 0..tok.blocks {
+                        let prep = self.pool.prepare_send(tok.owner, now, tok.requester);
+                        if prep.acks && self.batching {
+                            if let Some(col) = self.collector.as_mut() {
+                                col.record_batch_close(now, tok.owner, true);
+                            }
+                        }
+                        self.sched(
+                            stamp,
+                            now,
+                            prep.ready,
+                            SEv::BlockEgress {
+                                tok,
+                                parts: prep.parts,
+                                counter: prep.counter,
+                                acks: prep.acks,
+                            },
+                        );
+                    }
+                    if let Some(deadline) = self.pool.next_flush_deadline(tok.owner) {
+                        self.sched(stamp, now, deadline.max(now), SEv::FlushCheck(tok.owner));
+                    }
+                } else {
+                    for _ in 0..tok.blocks {
+                        self.sched(
+                            stamp,
+                            now,
+                            now,
+                            SEv::BlockEgress {
+                                tok,
+                                parts: WireParts::of(
+                                    self.wire.header + self.wire.block,
+                                    TrafficClass::Data,
+                                ),
+                                counter: 0,
+                                acks: false,
+                            },
+                        );
+                    }
+                }
+            }
+            SEv::BlockEgress {
+                tok,
+                parts,
+                counter,
+                acks,
+            } => {
+                if acks && !self.pool.try_reserve_ack(tok.owner) {
+                    self.pool.defer(tok.owner, (tok, parts, counter));
+                    return;
+                }
+                let pair = PairId::new(tok.owner, tok.requester);
+                let (at, transit) = self.fabric.begin(pair, now, parts);
+                self.sched(
+                    stamp,
+                    now,
+                    at,
+                    SEv::BlockIngress {
+                        tok,
+                        transit,
+                        counter,
+                        acks,
+                    },
+                );
+            }
+            SEv::BlockIngress {
+                tok,
+                transit,
+                counter,
+                acks,
+            } => match self.fabric.advance(transit, now) {
+                HopOutcome::Forwarded { at, transit } => {
+                    self.sched(
+                        stamp,
+                        now,
+                        at,
+                        SEv::BlockIngress {
+                            tok,
+                            transit,
+                            counter,
+                            acks,
+                        },
+                    );
+                }
+                HopOutcome::Delivered { at } => {
+                    self.sched(stamp, now, at, SEv::BlockRecv { tok, counter, acks });
+                }
+            },
+            SEv::BlockRecv { tok, counter, acks } => {
+                let usable = if self.secure {
+                    self.pool.receive(tok.requester, now, tok.owner, counter)
+                } else {
+                    now
+                };
+                self.sched(stamp, now, usable, SEv::BlockDone { tok, acks });
+            }
+            SEv::BlockDone { tok, acks } => {
+                self.stats.blocks_done += 1;
+                if acks {
+                    let ack = self.pool.ack_bytes(tok.requester);
+                    if ack > ByteSize::ZERO {
+                        let back = self.fabric.transmit_ctrl(
+                            PairId::new(tok.requester, tok.owner),
+                            now,
+                            &[(ack, TrafficClass::Ack)],
+                        );
+                        self.stats.acks_sent += 1;
+                        self.sched(stamp, now, back, SEv::AckArrive(tok.owner));
+                    } else {
+                        self.sched(
+                            stamp,
+                            now,
+                            now + self.link_latency,
+                            SEv::AckArrive(tok.owner),
+                        );
+                    }
+                }
+                let slot = &mut self.pending[tok.idx as usize];
+                slot.blocks_left -= 1;
+                if slot.blocks_left == 0 {
+                    let issued_at = slot.issued_at;
+                    self.stats.completion = self.stats.completion.max(now);
+                    self.stats.sum_latency += now.saturating_since(issued_at);
+                    self.stats.requests_done += 1;
+                    self.pacer.complete(tok.requester);
+                    self.sched(stamp, now, now, SEv::TryIssue(tok.requester));
+                }
+            }
+            SEv::AckArrive(owner) => {
+                if let Some((tok, parts, counter)) = self.pool.release_ack(owner) {
+                    self.sched(
+                        stamp,
+                        now,
+                        now,
+                        SEv::BlockEgress {
+                            tok,
+                            parts,
+                            counter,
+                            acks: true,
+                        },
+                    );
+                }
+            }
+            SEv::FlushCheck(owner) => {
+                let flushed = self.pool.flush_due(owner, now);
+                for (dst, mac_bytes) in flushed {
+                    if let Some(col) = self.collector.as_mut() {
+                        col.record_batch_close(now, owner, false);
+                    }
+                    self.pool.reserve_ack(owner);
+                    let arrive = self.fabric.transmit_ctrl(
+                        PairId::new(owner, dst),
+                        now,
+                        &[(mac_bytes, TrafficClass::Mac)],
+                    );
+                    self.sched(
+                        stamp,
+                        now,
+                        arrive,
+                        SEv::TrailerAck {
+                            receiver: dst,
+                            owner,
+                        },
+                    );
+                }
+                if let Some(deadline) = self.pool.next_flush_deadline(owner) {
+                    self.sched(stamp, now, deadline.max(now), SEv::FlushCheck(owner));
+                }
+            }
+            SEv::TrailerAck { receiver, owner } => {
+                let ack = self.pool.ack_bytes(receiver);
+                if ack > ByteSize::ZERO {
+                    let back = self.fabric.transmit_ctrl(
+                        PairId::new(receiver, owner),
+                        now,
+                        &[(ack, TrafficClass::Ack)],
+                    );
+                    self.stats.acks_sent += 1;
+                    self.sched(stamp, now, back, SEv::AckArrive(owner));
+                } else {
+                    self.sched(stamp, now, now + self.link_latency, SEv::AckArrive(owner));
+                }
+            }
+            SEv::Sample => {
+                self.pool.advance_all(now);
+                if let Some(col) = self.collector.as_mut() {
+                    col.sample(now, &self.pool, &self.fabric);
+                }
+                // Liveness at this boundary: anything left locally or
+                // heading to another shard. ORed across shards it equals
+                // the single-thread `!events.is_empty()`: any event still
+                // held by a remote queue traces back through its creator
+                // chain to some shard's local event or outbound message.
+                let live = !self.queue.is_empty() || self.outbox.iter().any(|o| !o.is_empty());
+                // Reserve the next replica's stamp now (the position the
+                // single-thread reschedule would take) — whether it is
+                // injected depends on every shard's liveness, known only
+                // at the barrier.
+                let next_stamp = Stamp::child(stamp, now, self.id, self.seq);
+                self.seq += 1;
+                self.pending_replica = Some((now + self.sample_every, next_stamp));
+                self.replica_flags = (true, live);
+            }
+        }
+    }
+}
+
+/// The per-shard worker: conservative window loop between barriers.
+fn worker(shard: &mut Shard<'_>, shared: &Shared) {
+    let me = usize::from(shard.id);
+    loop {
+        // Phase A: resolve the replica reserved at the last boundary (all
+        // shards popped theirs in the same window, so last window's flags
+        // are complete), drain the inbox column, publish the local
+        // minimum.
+        if let Some((fire, stamp)) = shard.pending_replica.take() {
+            let any_live = shared
+                .winfo
+                .iter()
+                .any(|w| *w.lock().expect("winfo lock") == (true, true));
+            if any_live {
+                shard.queue.schedule(fire, stamp, SEv::Sample);
+            }
+        }
+        for src in 0..shared.mins.len() {
+            let mut inbox = shared.mail[src][me].lock().expect("mailbox lock");
+            for (fire, stamp, ev) in inbox.drain(..) {
+                shard.queue.schedule(fire, stamp, ev);
+            }
+        }
+        *shared.mins[me].lock().expect("mins lock") = shard.queue.peek_time();
+        shared.barrier.wait();
+
+        // Phase B: every shard computes the same global minimum from the
+        // same published values, so all agree on the window (or on
+        // termination) without a coordinator.
+        let global_min = shared
+            .mins
+            .iter()
+            .filter_map(|m| *m.lock().expect("mins lock"))
+            .min();
+        let Some(start) = global_min else {
+            break;
+        };
+        let window_end = start + shared.lookahead;
+        shard.replica_flags = (false, false);
+        while let Some((now, stamp, ev)) = shard.queue.pop_before(window_end) {
+            shard.handle(now, stamp, ev);
+        }
+        for dst in 0..shared.mins.len() {
+            if dst == me || shard.outbox[dst].is_empty() {
+                continue;
+            }
+            let mut out = std::mem::take(&mut shard.outbox[dst]);
+            shared.mail[me][dst]
+                .lock()
+                .expect("mailbox lock")
+                .append(&mut out);
+        }
+        *shared.winfo[me].lock().expect("winfo lock") = shard.replica_flags;
+        shared.barrier.wait();
+    }
+}
+
+/// Runs `sim`'s request streams on `shards` worker threads and returns a
+/// report bit-for-bit identical to the single-thread engine's.
+pub(crate) fn run(
+    sim: &Simulation,
+    queues: BTreeMap<NodeId, VecDeque<Request>>,
+    shards: u16,
+) -> RunReport {
+    let cfg: &SystemConfig = sim.config();
+    let secure = sim.secure();
+    let sample_every = cfg.security.dynamic.interval;
+    let observability = secure && cfg.observability.enabled;
+    // Root events exist iff any requester has a queue; all shards need
+    // this global fact to arm their boundary replicas in lockstep.
+    let any_roots = !queues.is_empty();
+    let lookahead = cfg.link_latency;
+
+    let template = Fabric::new(cfg);
+    debug_assert!(
+        template.topology().min_crossing_latency() >= lookahead,
+        "a cross-shard edge is faster than the conservative lookahead"
+    );
+    let map = ShardMap::new(template.topology().routes(), cfg.gpu_count, shards);
+    let switch_count = template.topology().routes().switch_count();
+
+    let mut shard_queues: Vec<BTreeMap<NodeId, VecDeque<Request>>> =
+        (0..shards).map(|_| BTreeMap::new()).collect();
+    for (node, q) in queues {
+        shard_queues[usize::from(map.of_node(node))].insert(node, q);
+    }
+    // Globally agreed root ranks: the single-thread engine hands the
+    // first sequence numbers to one TryIssue per requester (nodes
+    // ascending — the contiguous partition keeps per-shard prefixes
+    // intact), then to the first Sample. Cross-shard stamp comparisons
+    // bottom out at these ranks, and every shard's private counter
+    // starts above all of them so loop-created events sort after roots.
+    let root_base: Vec<u64> = shard_queues
+        .iter()
+        .scan(0u64, |acc, q| {
+            let base = *acc;
+            *acc += q.len() as u64;
+            Some(base)
+        })
+        .collect();
+    let total_roots: u64 = shard_queues.iter().map(|q| q.len() as u64).sum();
+    let seq_start = total_roots + u64::from(shards);
+
+    let slots_per_gpu = sim.slots_per_gpu();
+    let mut workers: Vec<Shard<'_>> = Vec::with_capacity(usize::from(shards));
+    for (s, queues) in shard_queues.into_iter().enumerate() {
+        let s16 = u16::try_from(s).expect("shard id fits u16");
+        let owned = map.nodes_of(s16);
+        let hbm: DenseNodeMap<Hbm> = owned
+            .iter()
+            .map(|&n| (n, Hbm::new(512, cfg.dram_latency)))
+            .collect();
+        let pacer = IssuePacer::new(queues, slots_per_gpu);
+        let armed: DenseNodeMap<Option<Cycle>> = pacer.nodes().map(|n| (n, None)).collect();
+        let collector = observability.then(|| {
+            let node_mask: Vec<bool> = (0..cfg.node_count())
+                .map(|raw| {
+                    map.of_node(NodeId::from_raw(u16::try_from(raw).expect("node id"))) == s16
+                })
+                .collect();
+            let switch_mask: Vec<bool> = (0..switch_count)
+                .map(|sw| map.of_switch(sw) == s16)
+                .collect();
+            TimeSeriesCollector::new(&cfg.observability, sample_every)
+                .with_scope(node_mask, switch_mask)
+        });
+        let mut shard = Shard {
+            id: s16,
+            secure,
+            batching: cfg.security.batching.enabled,
+            link_latency: cfg.link_latency,
+            sample_every,
+            wire: mgpu_secure::protocol::WireFormat::default(),
+            map: &map,
+            owned,
+            fabric: Fabric::new(cfg),
+            hbm,
+            pool: NicPool::for_nodes(cfg, secure, owned),
+            pacer,
+            armed,
+            queue: ShardQueue::new(),
+            seq: seq_start,
+            pending: Vec::new(),
+            collector,
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+            pending_replica: None,
+            replica_flags: (false, false),
+            stats: Stats {
+                completion: Cycle::ZERO,
+                sum_latency: Duration::ZERO,
+                last_issue: Cycle::ZERO,
+                requests_done: 0,
+                blocks_done: 0,
+                acks_sent: 0,
+                events_processed: 0,
+            },
+        };
+        // Root events with their global ranks: this shard's TryIssue
+        // roots occupy the contiguous rank range starting at
+        // `root_base[s]`; the boundary replicas all stand in for the one
+        // single-thread Sample root (rank `total_roots`), offset by shard
+        // so the merged trace keys order replica records shard-ascending
+        // (= node-ascending, matching single-thread emission).
+        for (k, node) in shard
+            .pacer
+            .nodes()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .enumerate()
+        {
+            let stamp = Stamp::root(s16, root_base[s] + k as u64);
+            shard
+                .queue
+                .schedule(Cycle::ZERO, stamp, SEv::TryIssue(node));
+        }
+        if observability && any_roots {
+            let stamp = Stamp::root(s16, total_roots + u64::from(s16));
+            shard
+                .queue
+                .schedule(Cycle::ZERO + sample_every, stamp, SEv::Sample);
+        }
+        workers.push(shard);
+    }
+
+    let shared = Shared {
+        mins: (0..shards).map(|_| Mutex::new(None)).collect(),
+        winfo: (0..shards).map(|_| Mutex::new((false, false))).collect(),
+        mail: (0..shards)
+            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+        barrier: Barrier::new(usize::from(shards)),
+        lookahead,
+    };
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        for shard in &mut workers {
+            scope.spawn(move || worker(shard, shared));
+        }
+    });
+
+    // Coordinator: fold the shards back into the single-thread shapes.
+    let mut completion = Cycle::ZERO;
+    let mut sum_latency = Duration::ZERO;
+    let mut last_issue = Cycle::ZERO;
+    let mut requests_done = 0u64;
+    let mut blocks_done = 0u64;
+    let mut acks_sent = 0u64;
+    let mut events_processed = 0u64;
+    let mut traffic = TrafficTotals::default();
+    for shard in &workers {
+        completion = completion.max(shard.stats.completion);
+        last_issue = last_issue.max(shard.stats.last_issue);
+        sum_latency += shard.stats.sum_latency;
+        requests_done += shard.stats.requests_done;
+        blocks_done += shard.stats.blocks_done;
+        acks_sent += shard.stats.acks_sent;
+        events_processed += shard.stats.events_processed;
+        traffic.merge(&shard.fabric.traffic_totals());
+    }
+
+    let mut collector = observability.then(|| {
+        TimeSeriesCollector::merge_shards(
+            &cfg.observability,
+            sample_every,
+            workers
+                .iter_mut()
+                .map(|s| s.collector.take().expect("collector present"))
+                .collect(),
+        )
+    });
+
+    let mut pool: NicPool = NicPool::new(cfg, secure);
+    for shard in &mut workers {
+        pool.absorb(&mut shard.pool, shard.owned);
+    }
+
+    if secure {
+        // End-of-run batch drain on a fresh fabric: control-VC byte
+        // accounting is independent of port state, and the post-run
+        // arrival times are discarded, so the totals match the
+        // single-thread drain on the live fabric exactly.
+        let mut drain_fabric = Fabric::new(cfg);
+        let mut harness: Option<WireHarness> = None;
+        drain_open_batches(
+            &mut pool,
+            &mut drain_fabric,
+            &mut harness,
+            &mut collector,
+            completion,
+            &mut acks_sent,
+        );
+        traffic.merge(&drain_fabric.traffic_totals());
+    }
+
+    let (otp, pads_issued, mean_batch_occupancy) = pool.otp_summary();
+
+    RunReport {
+        benchmark: sim.benchmark(),
+        scheme: cfg.security.scheme,
+        batching: cfg.security.batching.enabled,
+        total_cycles: completion.saturating_since(Cycle::ZERO),
+        requests: requests_done,
+        blocks: blocks_done,
+        traffic,
+        otp,
+        acks_sent,
+        pads_issued,
+        mean_batch_occupancy,
+        sum_request_latency: sum_latency,
+        last_issue: last_issue.saturating_since(Cycle::ZERO),
+        tampered_crossings: 0,
+        security: Default::default(),
+        timeline: collector.map(TimeSeriesCollector::finish),
+        events_processed,
+    }
+}

@@ -38,6 +38,25 @@ use mgpu_types::{
 };
 use mgpu_workloads::{Benchmark, Request, TrafficModel};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU16, Ordering};
+
+/// Process-wide default shard count, set once from `MGPU_SHARDS` by the
+/// experiment runners. Individual simulations override it with
+/// [`Simulation::with_shards`].
+static DEFAULT_SHARDS: AtomicU16 = AtomicU16::new(1);
+
+/// Sets the process-wide default shard (worker-thread) count used by
+/// simulations that do not call [`Simulation::with_shards`]. Values
+/// below 1 are clamped to 1.
+pub fn set_default_shards(shards: u16) {
+    DEFAULT_SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default shard count.
+#[must_use]
+pub fn default_shards() -> u16 {
+    DEFAULT_SHARDS.load(Ordering::Relaxed)
+}
 
 /// A configured, seeded simulation run.
 ///
@@ -59,6 +78,7 @@ pub struct Simulation {
     benchmark: Benchmark,
     params: mgpu_workloads::WorkloadParams,
     seed: u64,
+    shards: Option<u16>,
 }
 
 /// In-flight request bookkeeping.
@@ -145,7 +165,19 @@ impl Simulation {
             benchmark,
             params: benchmark.params(),
             seed,
+            shards: None,
         }
+    }
+
+    /// Overrides the shard (worker-thread) count for this simulation,
+    /// taking precedence over the process-wide default set by
+    /// [`set_default_shards`]. The run is bit-for-bit identical for any
+    /// shard count (see DESIGN.md §11); sharding only changes wall-clock
+    /// time. Values below 1 are clamped to 1.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u16) -> Self {
+        self.shards = Some(shards.max(1));
+        self
     }
 
     /// Overrides the workload parameters (calibration sweeps).
@@ -193,12 +225,59 @@ impl Simulation {
         self.run_requests(queues)
     }
 
-    fn secure(&self) -> bool {
+    pub(crate) fn secure(&self) -> bool {
         self.config.security.scheme != OtpSchemeKind::Unsecure
+    }
+
+    pub(crate) fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Per-GPU in-flight limit: the lower of the hardware MLP cap and the
+    /// kernel's achievable memory-level parallelism.
+    pub(crate) fn slots_per_gpu(&self) -> u32 {
+        self.config
+            .max_outstanding
+            .min(self.params.outstanding)
+            .max(1)
+    }
+
+    /// Resolves the shard count this run will actually use. The request
+    /// (`with_shards` override, else the process default) is clamped to
+    /// the node count and forced to 1 where the sharded engine does not
+    /// apply:
+    ///
+    /// * adversarial runs — the wire harness is a single functional
+    ///   pipeline that must observe crossings in global order;
+    /// * observability intervals shorter than the lookahead — a sample
+    ///   replica is re-armed one window late, so boundaries must be at
+    ///   least one lookahead apart;
+    /// * zero link latency — the conservative window would be empty.
+    fn effective_shards(&self) -> u16 {
+        let requested = self.shards.unwrap_or_else(default_shards).max(1);
+        let nodes = u16::try_from(self.config.node_count()).unwrap_or(u16::MAX);
+        let mut shards = requested.min(nodes);
+        if self.secure() && self.config.adversary.enabled {
+            shards = 1;
+        }
+        if self.secure()
+            && self.config.observability.enabled
+            && self.config.security.dynamic.interval < self.config.link_latency
+        {
+            shards = 1;
+        }
+        if self.config.link_latency == Duration::ZERO {
+            shards = 1;
+        }
+        shards
     }
 
     #[allow(clippy::too_many_lines)]
     fn run_requests(&self, queues: BTreeMap<NodeId, VecDeque<Request>>) -> RunReport {
+        let shards = self.effective_shards();
+        if shards > 1 {
+            return crate::sharded::run(self, queues, shards);
+        }
         let cfg = &self.config;
         let wire = mgpu_secure::protocol::WireFormat::default();
         let mut fabric = Fabric::new(cfg);
@@ -533,34 +612,14 @@ impl Simulation {
 
         // Drain any still-open batches at end of run.
         if self.secure() {
-            for owner in pool.owners() {
-                let drained = pool.flush_all(owner);
-                for (dst, mac_bytes) in drained {
-                    if let Some(col) = collector.as_mut() {
-                        col.record_batch_close(completion, owner, false);
-                    }
-                    if let Some(h) = harness.as_mut() {
-                        let tampered = h.on_flush(completion, owner, dst);
-                        if tampered > 0 {
-                            fabric.note_tampered_egress(owner, tampered);
-                        }
-                    }
-                    fabric.transmit_ctrl(
-                        PairId::new(owner, dst),
-                        completion,
-                        &[(mac_bytes, TrafficClass::Mac)],
-                    );
-                    let ack = pool.ack_bytes(dst);
-                    if ack > ByteSize::ZERO {
-                        fabric.transmit_ctrl(
-                            PairId::new(dst, owner),
-                            completion,
-                            &[(ack, TrafficClass::Ack)],
-                        );
-                        acks_sent += 1;
-                    }
-                }
-            }
+            drain_open_batches(
+                &mut pool,
+                &mut fabric,
+                &mut harness,
+                &mut collector,
+                completion,
+                &mut acks_sent,
+            );
         }
 
         // Any batches still open in the harness (its functional batcher
@@ -600,6 +659,50 @@ impl Simulation {
             security: harness.map(WireHarness::into_log).unwrap_or_default(),
             timeline: collector.map(TimeSeriesCollector::finish),
             events_processed,
+        }
+    }
+}
+
+/// Drains every still-open batch at end of run: flushes each owner's
+/// batchers, accounts the trailer and ACK control messages at
+/// `completion`, and records the batch-close trace events. Shared by the
+/// single-thread loop and the sharded coordinator (which runs it on the
+/// merged pool against a fresh fabric — control-VC byte accounting is
+/// state-independent, and post-run arrival times are discarded).
+pub(crate) fn drain_open_batches(
+    pool: &mut NicPool,
+    fabric: &mut Fabric,
+    harness: &mut Option<WireHarness>,
+    collector: &mut Option<TimeSeriesCollector>,
+    completion: Cycle,
+    acks_sent: &mut u64,
+) {
+    for owner in pool.owners() {
+        let drained = pool.flush_all(owner);
+        for (dst, mac_bytes) in drained {
+            if let Some(col) = collector.as_mut() {
+                col.record_batch_close(completion, owner, false);
+            }
+            if let Some(h) = harness.as_mut() {
+                let tampered = h.on_flush(completion, owner, dst);
+                if tampered > 0 {
+                    fabric.note_tampered_egress(owner, tampered);
+                }
+            }
+            fabric.transmit_ctrl(
+                PairId::new(owner, dst),
+                completion,
+                &[(mac_bytes, TrafficClass::Mac)],
+            );
+            let ack = pool.ack_bytes(dst);
+            if ack > ByteSize::ZERO {
+                fabric.transmit_ctrl(
+                    PairId::new(dst, owner),
+                    completion,
+                    &[(ack, TrafficClass::Ack)],
+                );
+                *acks_sent += 1;
+            }
         }
     }
 }

@@ -106,3 +106,36 @@ fn observability_enabled_changes_no_timing() {
     assert!(!timeline.fabric.is_empty());
     assert!(timeline.scope_counts.contains_key("BlockDone"));
 }
+
+/// The sharded engine is not allowed to be "close": every cell of the
+/// golden matrix must produce a [`RunReport`] whose entire `Debug`
+/// rendering — cycles, bytes, OTP stats, latencies, event counts, and
+/// (when enabled) the full observability timeline — is identical to the
+/// single-thread engine's, for every shard count and both observability
+/// modes. See DESIGN.md §11 for why this holds by construction.
+#[test]
+fn sharded_engine_matches_single_thread_bit_for_bit() {
+    use mgpu_system::runner::compare_schemes_with;
+    for observability in [false, true] {
+        let mut base = SystemConfig::paper_4gpu();
+        if observability {
+            base.observability = ObservabilityConfig::enabled();
+        }
+        let cfgs = scheme_matrix(&base);
+        for bench in [Benchmark::MatrixTranspose, Benchmark::Spmv] {
+            let reference = compare_schemes_with(bench, &cfgs, 200, 42, 1);
+            for shards in [2u16, 4] {
+                let sharded = compare_schemes_with(bench, &cfgs, 200, 42, shards);
+                for (single, multi) in reference.iter().zip(sharded.iter()) {
+                    assert_eq!(
+                        format!("{:?}", single.report),
+                        format!("{:?}", multi.report),
+                        "{} / {bench:?} diverges at shards={shards}, \
+                         observability={observability}",
+                        single.label,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Shard invariance: for *any* topology, scheme, scale, and seed, the
+//! sharded engine must produce a [`RunReport`] identical to the
+//! single-thread engine's — `events_processed` and the observability
+//! timeline included. The golden-parity test pins the paper's 12-cell
+//! matrix; this property test sweeps the configuration space around it.
+
+use mgpu_system::runner::configs;
+use mgpu_system::simulation::Simulation;
+use mgpu_types::{ObservabilityConfig, SystemConfig, TopologyKind};
+use mgpu_workloads::Benchmark;
+use proptest::prelude::*;
+
+fn base_config(gpus: u8, topo: u8) -> SystemConfig {
+    let base = match gpus {
+        0 => SystemConfig::paper_4gpu(),
+        1 => SystemConfig::paper_8gpu(),
+        _ => SystemConfig::paper_16gpu(),
+    };
+    base.with_topology(match topo {
+        0 => TopologyKind::FullyConnected,
+        1 => TopologyKind::Ring,
+        _ => TopologyKind::Switch { radix: 4 },
+    })
+}
+
+fn scheme_config(base: &SystemConfig, scheme: u8) -> SystemConfig {
+    match scheme {
+        0 => configs::private(base, 4),
+        1 => configs::shared(base, 4),
+        2 => configs::cached(base, 4),
+        3 => configs::dynamic(base, 4),
+        _ => configs::batching(base, 4),
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_cell_is_shard_invariant(
+        gpus in 0u8..3,
+        topo in 0u8..3,
+        scheme in 0u8..5,
+        observability in any::<bool>(),
+        seed in 0u64..1000,
+        per_gpu in 10usize..30,
+        spmv in any::<bool>(),
+    ) {
+        let bench = if spmv { Benchmark::Spmv } else { Benchmark::MatrixTranspose };
+        let mut base = base_config(gpus, topo);
+        if observability {
+            base.observability = ObservabilityConfig::enabled();
+        }
+        let cfg = scheme_config(&base, scheme);
+        let reference = Simulation::new(cfg.clone(), bench, seed)
+            .with_shards(1)
+            .run_for_requests(per_gpu);
+        let reference = format!("{reference:?}");
+        for shards in [2u16, 4] {
+            let sharded = Simulation::new(cfg.clone(), bench, seed)
+                .with_shards(shards)
+                .run_for_requests(per_gpu);
+            let sharded = format!("{sharded:?}");
+            prop_assert!(
+                reference == sharded,
+                "gpus={} topo={} scheme={} obs={} seed={} shards={}:\n-{}\n+{}",
+                gpus, topo, scheme, observability, seed, shards, reference, sharded
+            );
+        }
+    }
+}

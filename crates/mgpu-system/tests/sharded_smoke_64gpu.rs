@@ -1,0 +1,46 @@
+//! 64-GPU sharded smoke: one scale-out cell, shards=4 vs shards=1,
+//! bit-for-bit.
+//!
+//! The golden-parity matrix and the shard-invariance property test
+//! cover the paper scales (≤ 16 GPUs); this is the cheap CI check that
+//! the sharded engine also holds its contract at the fabric sizes the
+//! `topology_scaling` scale-out sweep and the `shard_scaling` headline
+//! cell actually run — with observability enabled, so the per-shard
+//! collector merge path is exercised too.
+
+use mgpu_system::runner::configs;
+use mgpu_system::Simulation;
+use mgpu_types::{ObservabilityConfig, SystemConfig, TopologyKind};
+use mgpu_workloads::Benchmark;
+
+fn cell(observability: bool) -> SystemConfig {
+    let mut base = SystemConfig::paper_4gpu();
+    base.gpu_count = 64;
+    if observability {
+        base.observability = ObservabilityConfig::enabled();
+    }
+    let base = base.with_topology(TopologyKind::Switch { radix: 4 });
+    configs::batching(&base, 4)
+}
+
+#[test]
+fn switch64_shards4_matches_single_thread() {
+    for observability in [false, true] {
+        let cfg = cell(observability);
+        let reference = Simulation::new(cfg.clone(), Benchmark::MatrixTranspose, 42)
+            .with_shards(1)
+            .run_for_requests(20);
+        let sharded = Simulation::new(cfg, Benchmark::MatrixTranspose, 42)
+            .with_shards(4)
+            .run_for_requests(20);
+        assert!(
+            reference.events_processed > 0,
+            "smoke cell must do real work"
+        );
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{sharded:?}"),
+            "obs={observability}: 64-GPU sharded run diverged from the single-thread engine"
+        );
+    }
+}

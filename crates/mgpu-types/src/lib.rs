@@ -28,7 +28,7 @@ pub mod units;
 
 pub use config::{
     AdversaryConfig, BatchingConfig, DynamicConfig, ObservabilityConfig, OtpSchemeKind,
-    SecurityConfig, SystemConfig, TopologyKind,
+    SecurityConfig, ShardConfig, SystemConfig, TopologyKind,
 };
 pub use dense::{DenseNodeMap, PairTable};
 pub use error::{ConfigError, MgpuError};
