@@ -10,7 +10,9 @@
 //! records are attributable), and the run mode, so performance can be
 //! tracked across commits. When the `timeline` experiment is among the
 //! run ids, the record also carries an `observability` block with the
-//! timeline's summary percentiles. Every record carries an `engine` block
+//! timeline's summary percentiles; when the `serving` experiment is among
+//! them, a `serving` block records each cell's tail-latency percentiles
+//! and SLO-violation rate. Every record carries an `engine` block
 //! (events/sec over a fixed, never-cached calibration cell) so raw engine
 //! throughput is tracked alongside suite wall-clock. Emitting a record
 //! from a dirty tree prints a loud warning: its timings are not
@@ -18,7 +20,8 @@
 //! in `EXPERIMENTS.md`.
 
 use mgpu_experiments::common::cache_counters;
-use mgpu_experiments::{find, registry, timeline, Mode};
+use mgpu_experiments::serving::ServingSummary;
+use mgpu_experiments::{find, registry, serving, timeline, Mode};
 use mgpu_system::runner::configs;
 use mgpu_system::timeseries::TimelineSummary;
 use mgpu_system::Simulation;
@@ -202,6 +205,7 @@ fn bench_json(
     timings: &[Timing],
     total_seconds: f64,
     observability: Option<&TimelineSummary>,
+    serving: Option<&ServingSummary>,
     engine: &EngineThroughput,
     shard_scaling: &ShardScaling,
 ) -> String {
@@ -258,6 +262,32 @@ fn bench_json(
             json_opt(s.hit_rate_p90),
             json_opt(s.queue_depth_p50),
             json_opt(s.queue_depth_p90),
+        ));
+    }
+    if let Some(s) = serving {
+        let cells = s
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"load\": \"{}\", \"arrivals\": \"{}\", \"scheme\": \"{}\", \
+                     \"p50\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {}, \
+                     \"violation_rate\": {}}}",
+                    json_escape(&c.load),
+                    json_escape(&c.arrivals),
+                    json_escape(&c.scheme),
+                    json_opt(Some(c.p50)),
+                    json_opt(Some(c.p99)),
+                    json_opt(Some(c.p999)),
+                    json_opt(Some(c.mean)),
+                    json_opt(Some(c.violation_rate)),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "  \"serving\": {{\"requests_per_gpu\": {}, \"cells\": [{cells}]}},\n",
+            s.requests_per_gpu,
         ));
     }
     out.push_str("  \"experiments\": [\n");
@@ -360,6 +390,12 @@ fn main() -> ExitCode {
         .iter()
         .any(|id| id == "timeline")
         .then(|| timeline::summary(mode));
+    // Likewise for the serving sweep: its cells re-run here (serving runs
+    // bypass the cell cache), but the sweep is small and deterministic.
+    let serving_summary = ids
+        .iter()
+        .any(|id| id == "serving")
+        .then(|| serving::summary(mode));
     let engine = measure_engine_throughput();
     eprintln!(
         "engine throughput: {:.0} events/sec ({} events in {:.3}s)",
@@ -381,6 +417,7 @@ fn main() -> ExitCode {
         &timings,
         total_seconds,
         observability.as_ref(),
+        serving_summary.as_ref(),
         &engine,
         &shard_scaling,
     );

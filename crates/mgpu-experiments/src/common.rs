@@ -146,8 +146,19 @@ fn budget_workers(requested: Option<usize>, shards: usize, cores: usize) -> usiz
     }
 }
 
+/// Clamps an explicit `MGPU_SHARDS` request to what the host can run:
+/// shards are worker threads inside one simulation, so anything beyond
+/// the core count gains nothing, and values beyond `u16::MAX` used to
+/// wrap to 65535 silently. The core count itself is capped at `u16::MAX`
+/// so the result always fits the engine's shard type.
+fn clamp_shards(requested: usize, cores: usize) -> u16 {
+    let cap = cores.clamp(1, usize::from(u16::MAX));
+    u16::try_from(requested.min(cap)).expect("cap fits u16")
+}
+
 /// Shard (thread) count used *inside each simulation*: `MGPU_SHARDS` if
-/// set (validated like `MGPU_WORKERS`), otherwise 1. Resolved once per
+/// set (validated like `MGPU_WORKERS`, and clamped to the host's core
+/// count with a one-time warning), otherwise 1. Resolved once per
 /// process and installed as the engine-wide default
 /// (`mgpu_system::set_default_shards`), so every cell — cached or not —
 /// runs with the same shard count.
@@ -156,8 +167,16 @@ pub fn shards() -> u16 {
     static RESOLVED: OnceLock<u16> = OnceLock::new();
     *RESOLVED.get_or_init(|| {
         static WARNED: AtomicBool = AtomicBool::new(false);
-        let s =
-            env_threads("MGPU_SHARDS", &WARNED).map_or(1, |n| u16::try_from(n).unwrap_or(u16::MAX));
+        let s = env_threads("MGPU_SHARDS", &WARNED).map_or(1, |n| {
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            let clamped = clamp_shards(n, cores);
+            if usize::from(clamped) != n && !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: clamping MGPU_SHARDS={n} to {clamped} (host has {cores} core(s))"
+                );
+            }
+            clamped
+        });
         mgpu_system::set_default_shards(s);
         s
     })
@@ -445,6 +464,19 @@ mod tests {
         assert_eq!(parse_positive("all"), None);
         assert_eq!(parse_positive("-2"), None);
         assert_eq!(parse_positive(""), None);
+    }
+
+    #[test]
+    fn oversized_shard_requests_clamp_to_host_cores() {
+        // Used to wrap silently to u16::MAX; now clamps to the cores the
+        // host actually has.
+        assert_eq!(clamp_shards(70_000, 4), 4);
+        assert_eq!(clamp_shards(8, 4), 4);
+        // Within budget: honored as-is.
+        assert_eq!(clamp_shards(2, 8), 2);
+        assert_eq!(clamp_shards(1, 1), 1);
+        // A pathological core count still fits the engine's u16 shards.
+        assert_eq!(clamp_shards(1_000_000, 1_000_000), u16::MAX);
     }
 
     #[test]

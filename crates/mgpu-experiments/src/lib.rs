@@ -21,6 +21,7 @@ pub mod common;
 pub mod evaluation;
 pub mod motivation;
 pub mod report;
+pub mod serving;
 pub mod timeline;
 pub mod topology;
 
@@ -169,6 +170,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "timeline",
             title: "Interval-resolved dynamic-allocation timeline",
             run: timeline::timeline,
+        },
+        Experiment {
+            id: "serving",
+            title: "Serving: open-loop tail latency under SLOs",
+            run: serving::serving,
         },
     ]
 }

@@ -63,14 +63,36 @@ impl ClosedBatch {
 struct OpenBatch {
     id: BatchId,
     opened_at: Cycle,
+    /// When [`SenderBatcher::flush_due`] should close this batch. Under the
+    /// fixed policy this is `opened_at + flush_timeout`; deadline-aware
+    /// close pulls it earlier as the oldest block's slack erodes.
+    flush_at: Cycle,
     macs: Vec<MsgMac>,
+}
+
+/// Deadline-aware close policy (serving extension): close a batch as soon
+/// as the oldest queued block's slack drops below the batch's estimated
+/// remaining service time.
+///
+/// The batcher keeps a per-destination EWMA of inter-block gaps; with
+/// `missing` blocks still needed to fill the batch, the remaining service
+/// estimate is `missing × gap`. The oldest block (queued at `opened_at`)
+/// has `slack - (now - opened_at)` cycles of budget left, so the batch's
+/// effective flush deadline becomes
+/// `opened_at + max(0, slack - missing × gap)`, never later than the fixed
+/// `flush_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineClose {
+    /// Per-block latency budget in cycles.
+    pub slack: Duration,
 }
 
 /// Sender-side batch assembly: groups outgoing blocks per destination.
 ///
 /// A batch closes when it reaches `batch_size` blocks, or — so trickle
 /// traffic is not held hostage — when [`SenderBatcher::flush_due`] finds it
-/// older than the flush timeout.
+/// past its flush deadline (the fixed timeout, or earlier under the
+/// [`DeadlineClose`] policy).
 ///
 /// # Examples
 ///
@@ -92,8 +114,13 @@ struct OpenBatch {
 pub struct SenderBatcher {
     batch_size: u32,
     flush_timeout: Duration,
+    deadline: Option<DeadlineClose>,
     open: DenseNodeMap<OpenBatch>,
     next_id: DenseNodeMap<BatchId>,
+    /// Per-destination EWMA of inter-block gaps (cycles) and the last add
+    /// time, feeding the deadline policy's remaining-service estimate.
+    gap_ewma: DenseNodeMap<f64>,
+    last_add: DenseNodeMap<Cycle>,
     closed_full: u64,
     closed_flush: u64,
     blocks: u64,
@@ -118,12 +145,23 @@ impl SenderBatcher {
         SenderBatcher {
             batch_size,
             flush_timeout,
+            deadline: None,
             open: DenseNodeMap::new(),
             next_id: DenseNodeMap::new(),
+            gap_ewma: DenseNodeMap::new(),
+            last_add: DenseNodeMap::new(),
             closed_full: 0,
             closed_flush: 0,
             blocks: 0,
         }
+    }
+
+    /// Enables the deadline-aware close policy with the given per-block
+    /// slack budget.
+    #[must_use]
+    pub fn with_deadline_close(mut self, slack: Duration) -> Self {
+        self.deadline = Some(DeadlineClose { slack });
+        self
     }
 
     fn take_id(&mut self, dst: NodeId) -> BatchId {
@@ -133,17 +171,42 @@ impl SenderBatcher {
         out
     }
 
+    /// The flush deadline of an open batch toward `dst` that was opened at
+    /// `opened_at` and currently holds `len` blocks.
+    fn flush_deadline(&self, dst: NodeId, opened_at: Cycle, len: u32) -> Cycle {
+        let fixed = opened_at + self.flush_timeout;
+        let Some(policy) = self.deadline else {
+            return fixed;
+        };
+        let gap = self.gap_ewma.get(dst).copied().unwrap_or(0.0);
+        let missing = f64::from(self.batch_size.saturating_sub(len));
+        let remaining = (missing * gap).round() as u64;
+        let budget = policy.slack.as_u64().saturating_sub(remaining);
+        fixed.min(opened_at + Duration::cycles(budget))
+    }
+
     /// Adds one outgoing block (already MACed) for `dst`; returns the
     /// closed batch if this block completed it.
     pub fn add_block(&mut self, now: Cycle, dst: NodeId, mac: MsgMac) -> Option<ClosedBatch> {
         self.blocks += 1;
+        if self.deadline.is_some() {
+            // Inter-block gap EWMA feeding the remaining-service estimate.
+            if let Some(&last) = self.last_add.get(dst) {
+                let gap = now.saturating_since(last).as_u64() as f64;
+                let ewma = self.gap_ewma.get_or_insert_with(dst, || gap);
+                *ewma = 0.5 * *ewma + 0.5 * gap;
+            }
+            self.last_add.insert(dst, now);
+        }
         if !self.open.contains_key(dst) {
             let id = self.take_id(dst);
+            let flush_at = self.flush_deadline(dst, now, 0);
             self.open.insert(
                 dst,
                 OpenBatch {
                     id,
                     opened_at: now,
+                    flush_at,
                     macs: Vec::with_capacity(self.batch_size as usize),
                 },
             );
@@ -159,6 +222,13 @@ impl SenderBatcher {
                 macs: batch.macs,
             })
         } else {
+            if self.deadline.is_some() {
+                // Re-estimate: both the gap EWMA and the missing-block
+                // count moved, so the adaptive deadline moves too.
+                let (opened_at, len) = (batch.opened_at, batch.macs.len() as u32);
+                let flush_at = self.flush_deadline(dst, opened_at, len);
+                self.open.get_mut(dst).expect("present").flush_at = flush_at;
+            }
             None
         }
     }
@@ -197,13 +267,14 @@ impl SenderBatcher {
         self.batch_size
     }
 
-    /// Closes and returns every batch that has been open longer than the
-    /// flush timeout at time `now`.
+    /// Closes and returns every batch whose flush deadline has passed at
+    /// time `now` (age ≥ `flush_timeout` under the fixed policy; possibly
+    /// earlier under [`DeadlineClose`]).
     pub fn flush_due(&mut self, now: Cycle) -> Vec<ClosedBatch> {
         let due: Vec<NodeId> = self
             .open
             .iter()
-            .filter(|(_, b)| now.saturating_since(b.opened_at) >= self.flush_timeout)
+            .filter(|(_, b)| now >= b.flush_at)
             .map(|(dst, _)| dst)
             .collect();
         due.into_iter()
@@ -241,10 +312,7 @@ impl SenderBatcher {
     /// [`flush_due`]: SenderBatcher::flush_due
     #[must_use]
     pub fn next_deadline(&self) -> Option<Cycle> {
-        self.open
-            .values()
-            .map(|b| b.opened_at + self.flush_timeout)
-            .min()
+        self.open.values().map(|b| b.flush_at).min()
     }
 
     /// Batches closed because they filled up.
@@ -579,6 +647,77 @@ mod tests {
         b.flush_all();
         // Two closed batches: 4 + 1 blocks.
         assert!((b.mean_occupancy() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_close_caps_flush_at_slack() {
+        // No gap history yet: the remaining-service estimate is zero, so
+        // the adaptive deadline is opened_at + slack (< fixed timeout).
+        let mut b =
+            SenderBatcher::new(16, Duration::cycles(160)).with_deadline_close(Duration::cycles(96));
+        let dst = NodeId::gpu(2);
+        b.add_block(Cycle::new(10), dst, [1; 8]);
+        assert_eq!(b.next_deadline(), Some(Cycle::new(106)));
+        assert!(b.flush_due(Cycle::new(105)).is_empty());
+        let flushed = b.flush_due(Cycle::new(106));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(b.closed_by_flush(), 1);
+    }
+
+    #[test]
+    fn deadline_close_shrinks_with_slow_arrivals() {
+        // Two blocks 80 cycles apart: gap EWMA = 80, 14 blocks missing →
+        // remaining estimate 1120 ≫ slack, so the batch should close at
+        // the very next flush check (deadline == opened_at).
+        let mut b =
+            SenderBatcher::new(16, Duration::cycles(160)).with_deadline_close(Duration::cycles(96));
+        let dst = NodeId::gpu(2);
+        b.add_block(Cycle::new(0), dst, [1; 8]);
+        b.add_block(Cycle::new(80), dst, [2; 8]);
+        assert_eq!(b.next_deadline(), Some(Cycle::new(0)));
+        let flushed = b.flush_due(Cycle::new(81));
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].len(), 2);
+    }
+
+    #[test]
+    fn deadline_close_waits_when_arrivals_are_fast() {
+        // Back-to-back blocks (gap 1): remaining ≈ 14 cycles, so the
+        // deadline sits near opened_at + slack - 14 — the batch is given
+        // time to fill because filling is cheap.
+        let mut b =
+            SenderBatcher::new(16, Duration::cycles(160)).with_deadline_close(Duration::cycles(96));
+        let dst = NodeId::gpu(2);
+        b.add_block(Cycle::new(100), dst, [1; 8]);
+        b.add_block(Cycle::new(101), dst, [2; 8]);
+        let dl = b.next_deadline().unwrap();
+        assert!(
+            dl > Cycle::new(150) && dl <= Cycle::new(196),
+            "deadline {dl} should be near opened_at + slack"
+        );
+    }
+
+    #[test]
+    fn deadline_close_never_exceeds_fixed_timeout() {
+        let mut b = SenderBatcher::new(16, Duration::cycles(160))
+            .with_deadline_close(Duration::cycles(100_000));
+        let dst = NodeId::gpu(2);
+        b.add_block(Cycle::new(10), dst, [1; 8]);
+        // A huge slack budget still falls back to the fixed timeout.
+        assert_eq!(b.next_deadline(), Some(Cycle::new(170)));
+    }
+
+    #[test]
+    fn fixed_policy_unchanged_by_new_fields() {
+        // Without the policy, flush timing is exactly the pre-existing
+        // age >= flush_timeout rule.
+        let mut b = SenderBatcher::new(16, Duration::cycles(160));
+        let dst = NodeId::gpu(2);
+        b.add_block(Cycle::new(10), dst, [1; 8]);
+        b.add_block(Cycle::new(90), dst, [2; 8]);
+        assert_eq!(b.next_deadline(), Some(Cycle::new(170)));
+        assert!(b.flush_due(Cycle::new(169)).is_empty());
+        assert_eq!(b.flush_due(Cycle::new(170)).len(), 1);
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub struct DynamicScheme {
     interval: Duration,
     next_boundary: Cycle,
     rebalances: u64,
+    /// Load-triggered mode: repartition only when the per-window event
+    /// rate shifts by more than `shift_threshold` (relative) since the
+    /// last applied repartition, instead of at every fixed boundary.
+    load_triggered: bool,
+    shift_threshold: f64,
+    window_events: u64,
+    rate_at_last: Option<u64>,
     stats: OtpStats,
 }
 
@@ -45,15 +52,26 @@ impl DynamicScheme {
             recv.insert(peer, PadWindow::new(depth, Cycle::ZERO, engine));
         }
         let dynamic = &config.security.dynamic;
+        // Load-triggered mode samples the event rate on the (shorter)
+        // check interval; fixed mode repartitions on every interval.
+        let interval = if dynamic.load_triggered {
+            dynamic.check_interval
+        } else {
+            dynamic.interval
+        };
         DynamicScheme {
             send,
             recv,
             monitor: EwmaAllocator::new(&peers, dynamic.alpha, dynamic.beta)
                 .with_floor((depth / 2).max(1)),
             total_buffers: config.total_otp_buffers_per_node(),
-            interval: dynamic.interval,
-            next_boundary: Cycle::ZERO + dynamic.interval,
+            interval,
+            next_boundary: Cycle::ZERO + interval,
             rebalances: 0,
+            load_triggered: dynamic.load_triggered,
+            shift_threshold: dynamic.shift_threshold,
+            window_events: 0,
+            rate_at_last: None,
             stats: OtpStats::default(),
         }
     }
@@ -63,6 +81,15 @@ impl DynamicScheme {
     fn rebalance_to(&mut self, now: Cycle, engine: &mut AesEngine) {
         while now >= self.next_boundary {
             let boundary = self.next_boundary;
+            let window = self.window_events;
+            self.window_events = 0;
+            if !self.should_repartition(window) {
+                // Quiet window: leave the allocation in place and let the
+                // EWMA monitor keep accumulating into a longer interval.
+                self.next_boundary = boundary + self.interval;
+                continue;
+            }
+            self.rate_at_last = Some(window);
             let alloc = self.monitor.end_interval(self.total_buffers);
             for (&peer, &pads) in &alloc.send {
                 self.send
@@ -78,6 +105,25 @@ impl DynamicScheme {
             }
             self.rebalances += 1;
             self.next_boundary = boundary + self.interval;
+        }
+    }
+
+    /// Whether the just-ended window's event count warrants repartitioning.
+    ///
+    /// Fixed mode always repartitions. Load-triggered mode repartitions on
+    /// the first boundary (to move off the even launch allocation) and
+    /// afterwards only when the arrival rate moved by more than
+    /// `shift_threshold` relative to the rate at the last repartition.
+    fn should_repartition(&self, window: u64) -> bool {
+        if !self.load_triggered {
+            return true;
+        }
+        match self.rate_at_last {
+            None => true,
+            Some(rate) => {
+                let shift = window.abs_diff(rate) as f64;
+                shift > self.shift_threshold * rate.max(1) as f64
+            }
         }
     }
 
@@ -121,6 +167,7 @@ impl OtpScheme for DynamicScheme {
 
     fn on_send(&mut self, now: Cycle, peer: NodeId, engine: &mut AesEngine) -> SendOutcome {
         self.rebalance_to(now, engine);
+        self.window_events += 1;
         self.monitor.observe_send(peer);
         let window = self.send.get_mut(peer).expect("peer within system");
         let (timing, counter) = window.use_pad(now, engine);
@@ -130,6 +177,7 @@ impl OtpScheme for DynamicScheme {
 
     fn on_recv(&mut self, now: Cycle, peer: NodeId, ctr: u64, engine: &mut AesEngine) -> PadTiming {
         self.rebalance_to(now, engine);
+        self.window_events += 1;
         self.monitor.observe_recv(peer);
         let window = self.recv.get_mut(peer).expect("peer within system");
         let timing = window.use_pad_for(ctr, now, engine);
@@ -265,6 +313,81 @@ mod tests {
             s.advance(now, &mut e);
             assert_eq!(s.allocated(), 32, "round {round}");
         }
+    }
+
+    fn load_triggered_setup(threshold: f64) -> (DynamicScheme, AesEngine) {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.dynamic.load_triggered = true;
+        cfg.security.dynamic.check_interval = Duration::cycles(250);
+        cfg.security.dynamic.shift_threshold = threshold;
+        let mut engine = AesEngine::new(cfg.security.aes_latency);
+        let scheme = DynamicScheme::new(NodeId::gpu(1), &cfg, &mut engine);
+        (scheme, engine)
+    }
+
+    #[test]
+    fn load_triggered_skips_steady_windows() {
+        let (mut s, mut e) = load_triggered_setup(0.5);
+        let peer = NodeId::gpu(2);
+        // Ten 250-cycle windows of identical traffic: one send every 50
+        // cycles. The first boundary always repartitions; every later
+        // steady window is skipped.
+        let mut now = Cycle::new(1);
+        for _ in 0..50 {
+            s.on_send(now, peer, &mut e);
+            now += Duration::cycles(50);
+        }
+        s.advance(now, &mut e);
+        assert_eq!(s.rebalances(), 1, "steady load should repartition once");
+        // Pool stays conserved even across skipped boundaries.
+        assert_eq!(s.allocated(), 32);
+    }
+
+    #[test]
+    fn load_triggered_reacts_to_rate_shift() {
+        let (mut s, mut e) = load_triggered_setup(0.5);
+        let peer = NodeId::gpu(2);
+        let mut now = Cycle::new(1);
+        // Phase 1: slow traffic (5 events / 250-cycle window).
+        for _ in 0..20 {
+            s.on_send(now, peer, &mut e);
+            now += Duration::cycles(50);
+        }
+        let after_slow = s.rebalances();
+        // Phase 2: 10x burst (50 events / window) — clear rate shift.
+        for _ in 0..100 {
+            s.on_send(now, peer, &mut e);
+            now += Duration::cycles(5);
+        }
+        s.advance(now, &mut e);
+        assert!(
+            s.rebalances() > after_slow,
+            "burst onset should trigger a repartition ({} vs {after_slow})",
+            s.rebalances()
+        );
+    }
+
+    #[test]
+    fn load_triggered_boundaries_use_check_interval() {
+        let (mut s, mut e) = load_triggered_setup(0.5);
+        // First boundary at check_interval (250), not the fixed interval
+        // (1000); the first boundary always repartitions.
+        s.advance(Cycle::new(249), &mut e);
+        assert_eq!(s.rebalances(), 0);
+        s.advance(Cycle::new(250), &mut e);
+        assert_eq!(s.rebalances(), 1);
+        // Later empty windows match the reference rate exactly → skipped.
+        s.advance(Cycle::new(10_000), &mut e);
+        assert_eq!(s.rebalances(), 1);
+    }
+
+    #[test]
+    fn fixed_mode_ignores_load_trigger_knobs() {
+        // Defaults leave load_triggered off; every boundary repartitions
+        // regardless of traffic.
+        let (mut s, mut e) = setup();
+        s.advance(Cycle::new(4_000), &mut e);
+        assert_eq!(s.rebalances(), 4);
     }
 
     #[test]

@@ -10,6 +10,13 @@ use core::fmt;
 /// `[edge[last], ∞)`. The paper's Figs. 15/16 use edges
 /// `[0, 40, 160, 640, 2560]` cycles.
 ///
+/// Boundary convention: buckets are **half-open on the right** — a sample
+/// equal to an edge belongs to the bucket *starting* at that edge (exactly
+/// 160 lands in `[160, 640)`). `Trace::accumulation_fraction_within` in
+/// `mgpu-workloads` uses the matching strict-`<` test, so "within edge"
+/// always equals the summed fractions of the buckets strictly below that
+/// edge; both sites pin this with tests.
+///
 /// # Examples
 ///
 /// ```

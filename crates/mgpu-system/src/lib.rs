@@ -41,7 +41,7 @@ pub mod timeseries;
 
 pub use fabric::Fabric;
 pub use harness::WireHarness;
-pub use metrics::RunReport;
+pub use metrics::{LatencyReport, RunReport};
 pub use runner::{compare_schemes, compare_schemes_with, normalized_time, SchemeResult};
 pub use simulation::{default_shards, set_default_shards, Simulation};
 pub use timeseries::{

@@ -4,8 +4,109 @@ use crate::timeseries::Timeline;
 use mgpu_secure::adversary::SecurityEventLog;
 use mgpu_secure::OtpStats;
 use mgpu_sim::link::TrafficTotals;
-use mgpu_types::{Duration, OtpSchemeKind};
+use mgpu_sim::stats::percentile;
+use mgpu_types::{Cycle, Duration, OtpSchemeKind};
 use mgpu_workloads::Benchmark;
+
+/// Per-request latency distributions and SLO accounting for one run.
+///
+/// Each completed request contributes one sample to each vector; the
+/// engine sorts the vectors ascending before publishing the report, so
+/// two engines producing the same multiset of samples produce the same
+/// `Debug` rendering (the sharded-parity tests rely on this). Samples are
+/// in cycles. Latencies are measured from the request's *arrival*
+/// (`available_at`) — under open-loop pacing this includes queueing delay
+/// from stalled issue slots, which is exactly the serving-tail signal.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyReport {
+    /// Total latency: completion − arrival.
+    pub total: Vec<f64>,
+    /// First-byte latency: first usable block − arrival.
+    pub first_byte: Vec<f64>,
+    /// Service latency: completion − issue (excludes queueing delay).
+    pub service: Vec<f64>,
+    /// Requests that carried an SLO deadline.
+    pub with_deadline: u64,
+    /// Deadline-carrying requests that completed after their deadline.
+    pub violations: u64,
+}
+
+impl LatencyReport {
+    /// Records one completed request. Samples are appended unsorted;
+    /// call [`LatencyReport::finish`] before publishing.
+    pub fn record(
+        &mut self,
+        arrived: Cycle,
+        issued: Cycle,
+        first_byte: Cycle,
+        done: Cycle,
+        deadline: Option<Cycle>,
+    ) {
+        self.total
+            .push(done.saturating_since(arrived).as_u64() as f64);
+        self.first_byte
+            .push(first_byte.saturating_since(arrived).as_u64() as f64);
+        self.service
+            .push(done.saturating_since(issued).as_u64() as f64);
+        if let Some(d) = deadline {
+            self.with_deadline += 1;
+            if done > d {
+                self.violations += 1;
+            }
+        }
+    }
+
+    /// Sorts the sample vectors into their canonical ascending order.
+    pub fn finish(&mut self) {
+        self.total.sort_by(f64::total_cmp);
+        self.first_byte.sort_by(f64::total_cmp);
+        self.service.sort_by(f64::total_cmp);
+    }
+
+    /// Merges another report into this one (sharded-coordinator fold);
+    /// the result needs a final [`LatencyReport::finish`].
+    pub fn merge(&mut self, other: &LatencyReport) {
+        self.total.extend_from_slice(&other.total);
+        self.first_byte.extend_from_slice(&other.first_byte);
+        self.service.extend_from_slice(&other.service);
+        self.with_deadline += other.with_deadline;
+        self.violations += other.violations;
+    }
+
+    /// The `p`-th percentile (0–100) of total latency; `None` when no
+    /// requests completed.
+    #[must_use]
+    pub fn total_percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.total, p)
+    }
+
+    /// The `p`-th percentile (0–100) of first-byte latency.
+    #[must_use]
+    pub fn first_byte_percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.first_byte, p)
+    }
+
+    /// Mean total latency in cycles; zero when empty.
+    #[must_use]
+    pub fn mean_total(&self) -> f64 {
+        if self.total.is_empty() {
+            0.0
+        } else {
+            self.total.iter().sum::<f64>() / self.total.len() as f64
+        }
+    }
+
+    /// Fraction of deadline-carrying requests that missed their deadline;
+    /// zero when no request carried one.
+    #[must_use]
+    pub fn violation_rate(&self) -> f64 {
+        if self.with_deadline == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.with_deadline as f64
+        }
+    }
+}
 
 /// Everything one simulation run measures.
 #[derive(Debug, Clone)]
@@ -35,6 +136,8 @@ pub struct RunReport {
     pub mean_batch_occupancy: f64,
     /// Sum of per-request latencies (completion - issue), for diagnostics.
     pub sum_request_latency: Duration,
+    /// Per-request latency distributions (sorted) and SLO accounting.
+    pub latency: LatencyReport,
     /// Issue time of the last request (workload span under closed-loop
     /// pacing).
     pub last_issue: Duration,
@@ -128,6 +231,7 @@ mod tests {
             pads_issued: 40,
             mean_batch_occupancy: 0.0,
             sum_request_latency: Duration::cycles(0),
+            latency: LatencyReport::default(),
             last_issue: Duration::cycles(0),
             tampered_crossings: 0,
             security: SecurityEventLog::default(),
@@ -150,6 +254,69 @@ mod tests {
         assert!((r.metadata_fraction() - 0.28).abs() < 1e-12);
         let empty = report(100, 0, 0);
         assert_eq!(empty.metadata_fraction(), 0.0);
+    }
+
+    #[test]
+    fn latency_report_records_and_sorts() {
+        let mut l = LatencyReport::default();
+        // Arrived 0, issued 10, first byte 50, done 100, deadline 80: miss.
+        l.record(
+            Cycle::new(0),
+            Cycle::new(10),
+            Cycle::new(50),
+            Cycle::new(100),
+            Some(Cycle::new(80)),
+        );
+        // Arrived 5, issued 5, first byte 20, done 30, deadline 60: met.
+        l.record(
+            Cycle::new(5),
+            Cycle::new(5),
+            Cycle::new(20),
+            Cycle::new(30),
+            Some(Cycle::new(60)),
+        );
+        l.finish();
+        assert_eq!(l.total, vec![25.0, 100.0]);
+        assert_eq!(l.first_byte, vec![15.0, 50.0]);
+        assert_eq!(l.service, vec![25.0, 90.0]);
+        assert_eq!(l.with_deadline, 2);
+        assert_eq!(l.violations, 1);
+        assert!((l.violation_rate() - 0.5).abs() < 1e-12);
+        assert!((l.mean_total() - 62.5).abs() < 1e-12);
+        assert_eq!(l.total_percentile(100.0), Some(100.0));
+        assert_eq!(l.first_byte_percentile(0.0), Some(15.0));
+    }
+
+    #[test]
+    fn latency_merge_matches_single_stream() {
+        let mut a = LatencyReport::default();
+        let mut b = LatencyReport::default();
+        a.record(
+            Cycle::new(0),
+            Cycle::new(0),
+            Cycle::new(9),
+            Cycle::new(9),
+            None,
+        );
+        b.record(
+            Cycle::new(0),
+            Cycle::new(0),
+            Cycle::new(3),
+            Cycle::new(3),
+            None,
+        );
+        a.merge(&b);
+        a.finish();
+        assert_eq!(a.total, vec![3.0, 9.0]);
+        assert_eq!(a.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_latency_report_is_benign() {
+        let l = LatencyReport::default();
+        assert_eq!(l.total_percentile(99.0), None);
+        assert_eq!(l.mean_total(), 0.0);
+        assert_eq!(l.violation_rate(), 0.0);
     }
 
     #[test]

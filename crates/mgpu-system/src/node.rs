@@ -61,13 +61,17 @@ impl SecureNic {
         let mut engine = AesEngine::new(config.security.aes_latency);
         let scheme = build_scheme(me, config, &mut engine);
         let b = &config.security.batching;
+        let mut batcher = SenderBatcher::new(b.batch_size, b.flush_timeout);
+        if b.deadline_close {
+            batcher = batcher.with_deadline_close(b.deadline_slack);
+        }
         SecureNic {
             engine,
             scheme,
             wire: WireFormat::default(),
             batching: b.enabled,
             charge_metadata: config.security.charge_metadata_traffic,
-            batcher: SenderBatcher::new(b.batch_size, b.flush_timeout),
+            batcher,
             open_counts: DenseNodeMap::new(),
             batch_size: b.batch_size,
         }

@@ -1,12 +1,20 @@
-//! Closed-loop request issue pacing.
+//! Request issue pacing: closed-loop compute gaps or open-loop arrivals.
 //!
-//! Each GPU's generated request timestamps define *compute gaps* between
-//! consecutive requests, and the GPU sustains at most `slots` in-flight
-//! requests (its memory-level parallelism). [`IssuePacer`] owns that
-//! state: the per-node request queues, the gap queues, the virtual time
-//! marking when the previous request issued, and the free-slot counters.
-//! A stalled GPU pushes all of its later work back — like a real kernel
-//! whose wavefronts cannot run ahead of their data.
+//! In the default **closed-loop** mode, each GPU's generated request
+//! timestamps define *compute gaps* between consecutive requests, and the
+//! GPU sustains at most `slots` in-flight requests (its memory-level
+//! parallelism). [`IssuePacer`] owns that state: the per-node request
+//! queues, the gap queues, the virtual time marking when the previous
+//! request issued, and the free-slot counters. A stalled GPU pushes all
+//! of its later work back — like a real kernel whose wavefronts cannot
+//! run ahead of their data.
+//!
+//! In **open-loop** mode ([`IssuePacer::open_loop`]) requests become
+//! eligible at their *absolute* `available_at` cycles regardless of how
+//! the previous request fared — the arrival process is external, as in
+//! inference serving. The slot limit still bounds concurrency, so a
+//! saturated node accumulates queueing delay that surfaces as request
+//! latency instead of silently shifting the arrival process.
 
 use mgpu_types::{Cycle, DenseNodeMap, Duration, NodeId};
 use mgpu_workloads::Request;
@@ -26,9 +34,22 @@ pub enum IssueDecision {
     Drained,
 }
 
+/// How a node's next request becomes eligible to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PacingMode {
+    /// Compute gaps replay relative to the previous *actual* issue time;
+    /// stalls push later work back (default, models kernel execution).
+    #[default]
+    ClosedLoop,
+    /// Requests become eligible at their absolute `available_at` cycles;
+    /// stalls accumulate queueing delay (models external arrivals).
+    OpenLoop,
+}
+
 /// Per-node issue state for one simulation run.
 #[derive(Debug)]
 pub struct IssuePacer {
+    mode: PacingMode,
     gaps: DenseNodeMap<VecDeque<Duration>>,
     reqs: DenseNodeMap<VecDeque<Request>>,
     /// Virtual time: when the node's previous request issued.
@@ -37,11 +58,23 @@ pub struct IssuePacer {
 }
 
 impl IssuePacer {
-    /// Builds the pacer from per-requester queues (each sorted by
-    /// `available_at`). Consecutive timestamp deltas become the compute
+    /// Builds a closed-loop pacer from per-requester queues (each sorted
+    /// by `available_at`). Consecutive timestamp deltas become the compute
     /// gaps; every node starts with `slots` free issue slots.
     #[must_use]
     pub fn new(queues: BTreeMap<NodeId, VecDeque<Request>>, slots: u32) -> Self {
+        Self::build(queues, slots, PacingMode::ClosedLoop)
+    }
+
+    /// Builds an open-loop pacer: requests issue at their absolute
+    /// `available_at` (subject to the slot limit), never pushed back by
+    /// earlier stalls.
+    #[must_use]
+    pub fn open_loop(queues: BTreeMap<NodeId, VecDeque<Request>>, slots: u32) -> Self {
+        Self::build(queues, slots, PacingMode::OpenLoop)
+    }
+
+    fn build(queues: BTreeMap<NodeId, VecDeque<Request>>, slots: u32, mode: PacingMode) -> Self {
         let mut gaps: DenseNodeMap<VecDeque<Duration>> = DenseNodeMap::new();
         let mut reqs: DenseNodeMap<VecDeque<Request>> = DenseNodeMap::new();
         for (node, queue) in queues {
@@ -56,6 +89,7 @@ impl IssuePacer {
         let vt = reqs.keys().map(|n| (n, Cycle::ZERO)).collect();
         let free_slots = reqs.keys().map(|n| (n, slots)).collect();
         IssuePacer {
+            mode,
             gaps,
             reqs,
             vt,
@@ -74,7 +108,15 @@ impl IssuePacer {
         let Some(front_gap) = self.gaps[node].front().copied() else {
             return IssueDecision::Drained;
         };
-        let avail = self.vt[node] + front_gap;
+        let avail = match self.mode {
+            PacingMode::ClosedLoop => self.vt[node] + front_gap,
+            PacingMode::OpenLoop => {
+                self.reqs[node]
+                    .front()
+                    .expect("gap implies request")
+                    .available_at
+            }
+        };
         if avail > now {
             return IssueDecision::NotBefore(avail);
         }
@@ -138,6 +180,65 @@ mod tests {
     fn stalls_at_slot_limit_until_completion() {
         let g1 = NodeId::gpu(1);
         let mut p = IssuePacer::new(
+            queues(vec![
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+            ]),
+            1,
+        );
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Stalled));
+        p.complete(g1);
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+    }
+
+    #[test]
+    fn open_loop_issue_times_are_absolute() {
+        let g1 = NodeId::gpu(1);
+        let mut p = IssuePacer::open_loop(
+            queues(vec![
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+                Request::direct(Cycle::new(5), g1, NodeId::gpu(2)),
+            ]),
+            4,
+        );
+        // First issues late (at 100): the second is *already* eligible —
+        // its arrival at cycle 5 was not pushed back.
+        assert!(matches!(
+            p.poll(g1, Cycle::new(100)),
+            IssueDecision::Issue(_)
+        ));
+        assert!(matches!(
+            p.poll(g1, Cycle::new(100)),
+            IssueDecision::Issue(_)
+        ));
+        assert!(matches!(
+            p.poll(g1, Cycle::new(100)),
+            IssueDecision::Drained
+        ));
+    }
+
+    #[test]
+    fn open_loop_still_waits_for_future_arrivals() {
+        let g1 = NodeId::gpu(1);
+        let mut p = IssuePacer::open_loop(
+            queues(vec![
+                Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
+                Request::direct(Cycle::new(50), g1, NodeId::gpu(2)),
+            ]),
+            4,
+        );
+        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        match p.poll(g1, Cycle::new(10)) {
+            IssueDecision::NotBefore(c) => assert_eq!(c, Cycle::new(50)),
+            other => panic!("expected NotBefore, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_loop_respects_slot_limit() {
+        let g1 = NodeId::gpu(1);
+        let mut p = IssuePacer::open_loop(
             queues(vec![
                 Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),
                 Request::direct(Cycle::new(0), g1, NodeId::gpu(2)),

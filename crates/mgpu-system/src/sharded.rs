@@ -155,12 +155,16 @@ struct Shared {
 struct PendingSlot {
     blocks_left: u32,
     issued_at: Cycle,
+    arrived_at: Cycle,
+    deadline: Option<Cycle>,
+    first_byte: Option<Cycle>,
 }
 
 /// Counters each shard accumulates for the merged [`RunReport`].
 struct Stats {
     completion: Cycle,
     sum_latency: Duration,
+    latency: crate::metrics::LatencyReport,
     last_issue: Cycle,
     requests_done: u64,
     blocks_done: u64,
@@ -275,6 +279,9 @@ impl Shard<'_> {
                         self.pending.push(PendingSlot {
                             blocks_left: tok.blocks,
                             issued_at: now,
+                            arrived_at: request.available_at,
+                            deadline: request.deadline,
+                            first_byte: None,
                         });
                         let to_owner = PairId::new(request.requester, request.target);
                         let arrive = self.fabric.transmit_ctrl(
@@ -420,11 +427,21 @@ impl Shard<'_> {
                     }
                 }
                 let slot = &mut self.pending[tok.idx as usize];
+                if slot.first_byte.is_none() {
+                    slot.first_byte = Some(now);
+                }
                 slot.blocks_left -= 1;
                 if slot.blocks_left == 0 {
                     let issued_at = slot.issued_at;
                     self.stats.completion = self.stats.completion.max(now);
                     self.stats.sum_latency += now.saturating_since(issued_at);
+                    self.stats.latency.record(
+                        slot.arrived_at,
+                        issued_at,
+                        slot.first_byte.expect("block done implies first byte"),
+                        now,
+                        slot.deadline,
+                    );
                     self.stats.requests_done += 1;
                     self.pacer.complete(tok.requester);
                     self.sched(stamp, now, now, SEv::TryIssue(tok.requester));
@@ -621,7 +638,11 @@ pub(crate) fn run(
             .iter()
             .map(|&n| (n, Hbm::new(512, cfg.dram_latency)))
             .collect();
-        let pacer = IssuePacer::new(queues, slots_per_gpu);
+        let pacer = if sim.is_open_loop() {
+            IssuePacer::open_loop(queues, slots_per_gpu)
+        } else {
+            IssuePacer::new(queues, slots_per_gpu)
+        };
         let armed: DenseNodeMap<Option<Cycle>> = pacer.nodes().map(|n| (n, None)).collect();
         let collector = observability.then(|| {
             let node_mask: Vec<bool> = (0..cfg.node_count())
@@ -659,6 +680,7 @@ pub(crate) fn run(
             stats: Stats {
                 completion: Cycle::ZERO,
                 sum_latency: Duration::ZERO,
+                latency: crate::metrics::LatencyReport::default(),
                 last_issue: Cycle::ZERO,
                 requests_done: 0,
                 blocks_done: 0,
@@ -712,6 +734,7 @@ pub(crate) fn run(
     // Coordinator: fold the shards back into the single-thread shapes.
     let mut completion = Cycle::ZERO;
     let mut sum_latency = Duration::ZERO;
+    let mut latency = crate::metrics::LatencyReport::default();
     let mut last_issue = Cycle::ZERO;
     let mut requests_done = 0u64;
     let mut blocks_done = 0u64;
@@ -722,6 +745,7 @@ pub(crate) fn run(
         completion = completion.max(shard.stats.completion);
         last_issue = last_issue.max(shard.stats.last_issue);
         sum_latency += shard.stats.sum_latency;
+        latency.merge(&shard.stats.latency);
         requests_done += shard.stats.requests_done;
         blocks_done += shard.stats.blocks_done;
         acks_sent += shard.stats.acks_sent;
@@ -764,6 +788,7 @@ pub(crate) fn run(
     }
 
     let (otp, pads_issued, mean_batch_occupancy) = pool.otp_summary();
+    latency.finish();
 
     RunReport {
         benchmark: sim.benchmark(),
@@ -778,6 +803,7 @@ pub(crate) fn run(
         pads_issued,
         mean_batch_occupancy,
         sum_request_latency: sum_latency,
+        latency,
         last_issue: last_issue.saturating_since(Cycle::ZERO),
         tampered_crossings: 0,
         security: Default::default(),

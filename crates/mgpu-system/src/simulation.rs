@@ -79,6 +79,7 @@ pub struct Simulation {
     params: mgpu_workloads::WorkloadParams,
     seed: u64,
     shards: Option<u16>,
+    open_loop: bool,
 }
 
 /// In-flight request bookkeeping.
@@ -86,6 +87,12 @@ struct Pending {
     requester: NodeId,
     owner: NodeId,
     blocks_left: u32,
+    /// When the request arrived (its `available_at`).
+    arrived_at: Cycle,
+    /// Optional SLO deadline carried by the request.
+    deadline: Option<Cycle>,
+    /// When the request's first block became usable.
+    first_byte: Option<Cycle>,
 }
 
 /// Discrete events of the request path.
@@ -166,7 +173,19 @@ impl Simulation {
             params: benchmark.params(),
             seed,
             shards: None,
+            open_loop: false,
         }
+    }
+
+    /// Switches issue pacing to open-loop: requests become eligible at
+    /// their absolute `available_at` cycles (external arrivals, as in
+    /// inference serving) instead of replaying compute gaps relative to
+    /// the previous issue. Queueing delay from saturated issue slots then
+    /// shows up in [`RunReport::latency`] rather than shifting arrivals.
+    #[must_use]
+    pub fn with_open_loop(mut self) -> Self {
+        self.open_loop = true;
+        self
     }
 
     /// Overrides the shard (worker-thread) count for this simulation,
@@ -233,6 +252,10 @@ impl Simulation {
         self.benchmark
     }
 
+    pub(crate) fn is_open_loop(&self) -> bool {
+        self.open_loop
+    }
+
     /// Per-GPU in-flight limit: the lower of the hardware MLP cap and the
     /// kernel's achievable memory-level parallelism.
     pub(crate) fn slots_per_gpu(&self) -> u32 {
@@ -293,7 +316,11 @@ impl Simulation {
         // Per-GPU in-flight limit: the lower of the hardware MLP cap and
         // the kernel's achievable memory-level parallelism.
         let slots_per_gpu = cfg.max_outstanding.min(self.params.outstanding).max(1);
-        let mut pacer = IssuePacer::new(queues, slots_per_gpu);
+        let mut pacer = if self.open_loop {
+            IssuePacer::open_loop(queues, slots_per_gpu)
+        } else {
+            IssuePacer::new(queues, slots_per_gpu)
+        };
 
         let mut events: EventQueue<Ev> = EventQueue::new();
         for node in pacer.nodes().collect::<Vec<_>>() {
@@ -328,6 +355,7 @@ impl Simulation {
         let mut pending: Vec<Pending> = Vec::new();
         let mut completion = Cycle::ZERO;
         let mut sum_latency = Duration::ZERO;
+        let mut latency = crate::metrics::LatencyReport::default();
         let mut issue_times: Vec<Cycle> = Vec::new();
         let mut last_issue = Cycle::ZERO;
         let mut requests_done = 0u64;
@@ -363,6 +391,9 @@ impl Simulation {
                                 requester: request.requester,
                                 owner: request.target,
                                 blocks_left: request.kind.blocks(),
+                                arrived_at: request.available_at,
+                                deadline: request.deadline,
+                                first_byte: None,
                             });
                             issue_times.push(now);
                             let to_owner = PairId::new(request.requester, request.target);
@@ -500,6 +531,9 @@ impl Simulation {
                 }
                 Ev::BlockDone { idx, acks } => {
                     blocks_done += 1;
+                    if pending[idx].first_byte.is_none() {
+                        pending[idx].first_byte = Some(now);
+                    }
                     if acks {
                         let requester = pending[idx].requester;
                         let owner = pending[idx].owner;
@@ -523,6 +557,15 @@ impl Simulation {
                         let requester = pending[idx].requester;
                         completion = completion.max(now);
                         sum_latency += now.saturating_since(issue_times[idx]);
+                        latency.record(
+                            pending[idx].arrived_at,
+                            issue_times[idx],
+                            pending[idx]
+                                .first_byte
+                                .expect("block done implies first byte"),
+                            now,
+                            pending[idx].deadline,
+                        );
                         requests_done += 1;
                         pacer.complete(requester);
                         events.schedule(now, Ev::TryIssue(requester));
@@ -640,6 +683,7 @@ impl Simulation {
         }
 
         let (otp, pads_issued, mean_batch_occupancy) = pool.otp_summary();
+        latency.finish();
 
         RunReport {
             benchmark: self.benchmark,
@@ -654,6 +698,7 @@ impl Simulation {
             pads_issued,
             mean_batch_occupancy,
             sum_request_latency: sum_latency,
+            latency,
             last_issue: last_issue.saturating_since(Cycle::ZERO),
             tampered_crossings: fabric.tampered_total(),
             security: harness.map(WireHarness::into_log).unwrap_or_default(),

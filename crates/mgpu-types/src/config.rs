@@ -125,21 +125,39 @@ pub struct DynamicConfig {
     pub beta: f64,
     /// Monitoring / re-allocation interval in cycles (paper T).
     pub interval: Duration,
+    /// When `true`, the allocator repartitions on *arrival-rate shifts*
+    /// instead of at every fixed `interval` boundary: traffic is counted in
+    /// `check_interval`-wide windows and a repartition fires only when the
+    /// window's event count moves by more than `shift_threshold` (relative)
+    /// against the rate recorded at the last repartition. Off by default —
+    /// the paper's fixed-interval policy.
+    pub load_triggered: bool,
+    /// Load-monitoring window width for `load_triggered` mode. Smaller
+    /// windows react to bursts faster (the point of the policy) at the cost
+    /// of noisier rate estimates.
+    pub check_interval: Duration,
+    /// Relative per-window event-count shift (`|now - then| / max(then, 1)`)
+    /// that triggers a repartition in `load_triggered` mode.
+    pub shift_threshold: f64,
 }
 
 impl Default for DynamicConfig {
     fn default() -> Self {
-        // Paper Table III: α = 0.9, β = 0.5, T = 1000.
+        // Paper Table III: α = 0.9, β = 0.5, T = 1000. Load-triggered
+        // repartitioning is an extension and defaults off.
         DynamicConfig {
             alpha: 0.9,
             beta: 0.5,
             interval: Duration::cycles(1000),
+            load_triggered: false,
+            check_interval: Duration::cycles(250),
+            shift_threshold: 0.5,
         }
     }
 }
 
 impl DynamicConfig {
-    /// Validates that the EWMA rates lie in `(0, 1]` and the interval is
+    /// Validates that the EWMA rates lie in `(0, 1]` and the intervals are
     /// non-zero.
     ///
     /// # Errors
@@ -161,6 +179,19 @@ impl DynamicConfig {
         if self.interval == Duration::ZERO {
             return Err(ConfigError::new("interval must be non-zero"));
         }
+        if self.load_triggered {
+            if self.check_interval == Duration::ZERO {
+                return Err(ConfigError::new(
+                    "check_interval must be non-zero when load_triggered",
+                ));
+            }
+            if !(self.shift_threshold > 0.0 && self.shift_threshold.is_finite()) {
+                return Err(ConfigError::new(format!(
+                    "shift_threshold must be a positive finite ratio, got {}",
+                    self.shift_threshold
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -176,6 +207,17 @@ pub struct BatchingConfig {
     /// trickle traffic is not delayed indefinitely. The paper's burstiness
     /// analysis (Fig. 15) motivates a bound on the order of 160 cycles.
     pub flush_timeout: Duration,
+    /// Deadline-aware close: when `true`, each open batch's flush deadline
+    /// shrinks below `flush_timeout` whenever the oldest queued block's
+    /// slack (against `deadline_slack`) drops below the batch's estimated
+    /// remaining service time (blocks still missing × the EWMA inter-block
+    /// gap on that destination). Off by default — the paper's wait-for-`n`
+    /// policy.
+    pub deadline_close: bool,
+    /// Per-block latency budget used by deadline-aware close: a batch tries
+    /// to emit its MAC trailer before its oldest block has been queued for
+    /// this long.
+    pub deadline_slack: Duration,
 }
 
 impl Default for BatchingConfig {
@@ -184,6 +226,8 @@ impl Default for BatchingConfig {
             enabled: false,
             batch_size: 16,
             flush_timeout: Duration::cycles(160),
+            deadline_close: false,
+            deadline_slack: Duration::cycles(96),
         }
     }
 }
@@ -210,6 +254,11 @@ impl BatchingConfig {
         if self.batch_size > 255 {
             return Err(ConfigError::new(
                 "batch_size must fit the 1-byte length header (<= 255)",
+            ));
+        }
+        if self.deadline_close && self.deadline_slack == Duration::ZERO {
+            return Err(ConfigError::new(
+                "deadline_slack must be non-zero when deadline_close is enabled",
             ));
         }
         Ok(())
@@ -624,6 +673,34 @@ mod tests {
         let mut cfg = SystemConfig::paper_4gpu();
         cfg.adversary.rate_permille = 1001;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.dynamic.load_triggered = true;
+        cfg.security.dynamic.check_interval = Duration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.dynamic.load_triggered = true;
+        cfg.security.dynamic.shift_threshold = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.batching.deadline_close = true;
+        cfg.security.batching.deadline_slack = Duration::ZERO;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn adaptive_knobs_default_off() {
+        // The adaptive policies must be opt-in: defaults reproduce the
+        // paper's fixed-interval / wait-for-n behavior bit-for-bit.
+        let cfg = SystemConfig::paper_4gpu();
+        assert!(!cfg.security.dynamic.load_triggered);
+        assert!(!cfg.security.batching.deadline_close);
+        let mut on = cfg;
+        on.security.dynamic.load_triggered = true;
+        on.security.batching.deadline_close = true;
+        on.validate().unwrap();
     }
 
     #[test]

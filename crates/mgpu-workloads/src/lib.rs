@@ -10,10 +10,13 @@
 //! (Figs. 13/14), and the page-migration vs. direct-block-access split
 //! (§II-A).
 //!
-//! Two generators are provided:
+//! Three generators are provided:
 //!
-//! * [`model::TrafficModel`] — the primary generator: emits each GPU's
-//!   remote-request arrival process directly.
+//! * [`model::TrafficModel`] — the primary batch generator: emits each
+//!   GPU's remote-request arrival process directly.
+//! * [`arrivals::ServingModel`] — open-loop serving traffic: seeded
+//!   Poisson/MMPP arrivals, Zipf-skewed destination mixes, and
+//!   per-request SLO deadlines for tail-latency studies.
 //! * [`address_mode::AddressTraceWorkload`] — a finer-grained alternative
 //!   that generates *address* streams and derives remote requests by
 //!   filtering them through the cache hierarchy and page-migration policy
@@ -36,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub mod address_mode;
+pub mod arrivals;
 pub mod bench_params;
 pub mod model;
 pub mod request;
 pub mod trace;
 
+pub use arrivals::{ArrivalProcess, ServingModel};
 pub use bench_params::{Benchmark, RpkiClass, WorkloadParams};
 pub use model::TrafficModel;
 pub use request::{AccessKind, Request};

@@ -37,6 +37,12 @@ pub struct Request {
     pub target: NodeId,
     /// Direct block access or page migration.
     pub kind: AccessKind,
+    /// Absolute SLO deadline: the cycle by which the last block must be
+    /// usable at the requester, or `None` for batch-style requests without
+    /// a latency objective. Carried verbatim through the system model and
+    /// checked against the completion stamp — missing it never changes
+    /// scheduling, it only counts as a violation in the run report.
+    pub deadline: Option<Cycle>,
 }
 
 impl Request {
@@ -48,6 +54,7 @@ impl Request {
             requester,
             target,
             kind: AccessKind::DirectBlock,
+            deadline: None,
         }
     }
 
@@ -59,7 +66,15 @@ impl Request {
             requester,
             target,
             kind: AccessKind::PageMigration,
+            deadline: None,
         }
+    }
+
+    /// The same request with an absolute SLO deadline attached.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Cycle) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -77,8 +92,20 @@ mod tests {
     fn constructors() {
         let r = Request::direct(Cycle::new(5), NodeId::gpu(1), NodeId::gpu(2));
         assert_eq!(r.kind, AccessKind::DirectBlock);
+        assert_eq!(r.deadline, None);
         let m = Request::migration(Cycle::new(5), NodeId::gpu(1), NodeId::CPU);
         assert_eq!(m.kind.blocks(), 64);
         assert_eq!(m.target, NodeId::CPU);
+        assert_eq!(m.deadline, None);
+    }
+
+    #[test]
+    fn deadline_builder() {
+        let r = Request::direct(Cycle::new(5), NodeId::gpu(1), NodeId::gpu(2))
+            .with_deadline(Cycle::new(505));
+        assert_eq!(r.deadline, Some(Cycle::new(505)));
+        // The deadline does not participate in the base identity fields.
+        assert_eq!(r.available_at, Cycle::new(5));
+        assert_eq!(r.kind, AccessKind::DirectBlock);
     }
 }

@@ -59,6 +59,16 @@ impl Trace {
         self.requests.is_empty()
     }
 
+    /// Per-block arrival cycles of one request: a direct access is a single
+    /// block at `available_at`; a page migration is 64 blocks spaced one
+    /// cycle apart. Every view in this module (accumulation *and* the
+    /// windowed timelines) expands migrations through this one helper so
+    /// their per-window counts agree across window boundaries.
+    fn request_block_cycles(r: &Request) -> impl Iterator<Item = Cycle> {
+        let start = r.available_at;
+        (0..u64::from(r.kind.blocks())).map(move |i| start + mgpu_types::Duration::cycles(i))
+    }
+
     /// Expands requests into per-block arrivals on directed pairs
     /// `(data owner → requester)` — the data-response streams whose
     /// burstiness the batching scheme exploits. Page migrations expand to
@@ -67,14 +77,7 @@ impl Trace {
         let mut arrivals: BTreeMap<(NodeId, NodeId), Vec<Cycle>> = BTreeMap::new();
         for r in &self.requests {
             let stream = arrivals.entry((r.target, r.requester)).or_default();
-            match r.kind {
-                AccessKind::DirectBlock => stream.push(r.available_at),
-                AccessKind::PageMigration => {
-                    for i in 0..64u64 {
-                        stream.push(r.available_at + mgpu_types::Duration::cycles(i));
-                    }
-                }
-            }
+            stream.extend(Self::request_block_cycles(r));
         }
         for stream in arrivals.values_mut() {
             stream.sort();
@@ -101,6 +104,13 @@ impl Trace {
     /// Fraction of `group`-block windows that accumulate within
     /// `within_cycles` (the paper quotes 69.2 % of 16-block groups within
     /// 160 cycles).
+    ///
+    /// Boundary convention: "within `w`" counts spans **strictly below**
+    /// `w`, matching [`Histogram`]'s half-open `[lo, hi)` buckets on the
+    /// same spans — a span of exactly 160 cycles is *not* within 160 and
+    /// lands in the `[160, 640)` bucket, so `fraction_within(group, edge)`
+    /// always equals the summed fractions of the histogram buckets strictly
+    /// below `edge` (pinned by tests at both sites).
     #[must_use]
     pub fn accumulation_fraction_within(&self, group: usize, within_cycles: u64) -> f64 {
         let mut total = 0u64;
@@ -125,28 +135,40 @@ impl Trace {
     /// Send/receive block counts for `node` over consecutive windows of
     /// `window` cycles (Fig. 13). "Send" counts blocks `node` serves to
     /// others (it is the data owner); "receive" counts blocks it pulls.
+    ///
+    /// Page migrations are expanded to their 64 one-cycle-spaced blocks,
+    /// each attributed to the window containing *its own* arrival cycle —
+    /// the same expansion the accumulation views use — so a migration
+    /// straddling a window boundary is split across both windows rather
+    /// than lumped into the window of `available_at`.
     #[must_use]
     pub fn send_recv_timeline(&self, node: NodeId, window: u64) -> Vec<(u64, u64)> {
         assert!(window > 0, "window must be non-zero");
         let mut timeline: Vec<(u64, u64)> = Vec::new();
         for r in &self.requests {
-            let blocks = u64::from(r.kind.blocks());
-            let idx = (r.available_at.as_u64() / window) as usize;
-            if timeline.len() <= idx {
-                timeline.resize(idx + 1, (0, 0));
+            if r.target != node && r.requester != node {
+                continue;
             }
-            if r.target == node {
-                timeline[idx].0 += blocks; // node sends data
-            } else if r.requester == node {
-                timeline[idx].1 += blocks; // node receives data
+            for cycle in Self::request_block_cycles(r) {
+                let idx = (cycle.as_u64() / window) as usize;
+                if timeline.len() <= idx {
+                    timeline.resize(idx + 1, (0, 0));
+                }
+                if r.target == node {
+                    timeline[idx].0 += 1; // node sends data
+                } else {
+                    timeline[idx].1 += 1; // node receives data
+                }
             }
         }
         timeline
     }
 
     /// Serializes the trace to a line-oriented text format
-    /// (`cycle requester target kind`), suitable for archiving a workload
-    /// and replaying it bit-identically later.
+    /// (`cycle requester target kind [deadline]`), suitable for archiving a
+    /// workload and replaying it bit-identically later. Requests without a
+    /// deadline serialize exactly as before (v1 lines); deadline-carrying
+    /// requests append the absolute deadline cycle as a fifth field.
     ///
     /// # Examples
     ///
@@ -163,40 +185,53 @@ impl Trace {
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(self.requests.len() * 16);
-        out.push_str(
-            "# mgpu-trace v1: cycle requester target kind
+        if self.requests.iter().any(|r| r.deadline.is_some()) {
+            out.push_str(
+                "# mgpu-trace v2: cycle requester target kind [deadline]
 ",
-        );
+            );
+        } else {
+            out.push_str(
+                "# mgpu-trace v1: cycle requester target kind
+",
+            );
+        }
         for r in &self.requests {
             let kind = match r.kind {
                 AccessKind::DirectBlock => "D",
                 AccessKind::PageMigration => "M",
             };
             out.push_str(&format!(
-                "{} {} {} {}
-",
+                "{} {} {} {}",
                 r.available_at.as_u64(),
                 r.requester.raw(),
                 r.target.raw(),
                 kind
             ));
+            if let Some(d) = r.deadline {
+                out.push_str(&format!(" {}", d.as_u64()));
+            }
+            out.push('\n');
         }
         out
     }
 
     /// Destination decomposition of `node`'s outgoing *requests* over
     /// consecutive windows (Fig. 14): for each window, blocks pulled from
-    /// each peer.
+    /// each peer. Migrations are expanded per block exactly like
+    /// [`send_recv_timeline`](Trace::send_recv_timeline).
     #[must_use]
     pub fn destination_timeline(&self, node: NodeId, window: u64) -> Vec<BTreeMap<NodeId, u64>> {
         assert!(window > 0, "window must be non-zero");
         let mut timeline: Vec<BTreeMap<NodeId, u64>> = Vec::new();
         for r in self.requests.iter().filter(|r| r.requester == node) {
-            let idx = (r.available_at.as_u64() / window) as usize;
-            if timeline.len() <= idx {
-                timeline.resize(idx + 1, BTreeMap::new());
+            for cycle in Self::request_block_cycles(r) {
+                let idx = (cycle.as_u64() / window) as usize;
+                if timeline.len() <= idx {
+                    timeline.resize(idx + 1, BTreeMap::new());
+                }
+                *timeline[idx].entry(r.target).or_default() += 1;
             }
-            *timeline[idx].entry(r.target).or_default() += u64::from(r.kind.blocks());
         }
         timeline
     }
@@ -257,6 +292,11 @@ impl FromStr for Trace {
                 Some(_) => return Err(err("kind must be D or M")),
                 None => return Err(err("missing kind")),
             };
+            // Optional fifth field (v2): absolute SLO deadline cycle.
+            let deadline = match fields.next() {
+                Some(d) => Some(Cycle::new(d.parse().map_err(|_| err("bad deadline"))?)),
+                None => None,
+            };
             if fields.next().is_some() {
                 return Err(err("trailing fields"));
             }
@@ -268,6 +308,7 @@ impl FromStr for Trace {
                 requester: NodeId::from_raw(requester),
                 target: NodeId::from_raw(target),
                 kind,
+                deadline,
             });
         }
         Ok(Trace::new(requests))
@@ -412,7 +453,8 @@ mod tests {
         assert!("x 1 2 D".parse::<Trace>().is_err()); // bad cycle
         assert!("1 1 1 D".parse::<Trace>().is_err()); // self target
         assert!("1 1 2 Q".parse::<Trace>().is_err()); // bad kind
-        assert!("1 1 2 D extra".parse::<Trace>().is_err()); // trailing
+        assert!("1 1 2 D extra".parse::<Trace>().is_err()); // bad deadline
+        assert!("1 1 2 D 5 extra".parse::<Trace>().is_err()); // trailing
         let err = "ok
 "
         .parse::<Trace>()
@@ -432,6 +474,139 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.requests()[1].kind, AccessKind::PageMigration);
         assert_eq!(t.requests()[1].target, NodeId::CPU);
+    }
+
+    #[test]
+    fn windowed_views_split_migrations_across_boundaries() {
+        // A migration at cycle 90 with window 100 spans blocks 90..=153:
+        // 10 blocks land in window 0 and 54 in window 1 — previously all 64
+        // were lumped into window 0.
+        let r = Request::migration(Cycle::new(90), NodeId::gpu(1), NodeId::gpu(2));
+        let t = Trace::new(vec![r]);
+        let send = t.send_recv_timeline(NodeId::gpu(2), 100);
+        assert_eq!(send, vec![(10, 0), (54, 0)]);
+        let recv = t.send_recv_timeline(NodeId::gpu(1), 100);
+        assert_eq!(recv, vec![(0, 10), (0, 54)]);
+        let dst = t.destination_timeline(NodeId::gpu(1), 100);
+        assert_eq!(dst.len(), 2);
+        assert_eq!(dst[0][&NodeId::gpu(2)], 10);
+        assert_eq!(dst[1][&NodeId::gpu(2)], 54);
+    }
+
+    #[test]
+    fn windowed_views_agree_with_block_arrivals() {
+        // Fig. 13/14 counts must agree with the accumulation view's block
+        // expansion on every window, for a workload full of migrations.
+        let t = trace(Benchmark::Kmeans);
+        let node = NodeId::gpu(1);
+        let window = 500u64;
+        let mut expected_recv: Vec<u64> = Vec::new();
+        let mut expected_send: Vec<u64> = Vec::new();
+        for ((owner, requester), stream) in t.block_arrivals() {
+            for c in stream {
+                let idx = (c.as_u64() / window) as usize;
+                if owner == node {
+                    if expected_send.len() <= idx {
+                        expected_send.resize(idx + 1, 0);
+                    }
+                    expected_send[idx] += 1;
+                }
+                if requester == node {
+                    if expected_recv.len() <= idx {
+                        expected_recv.resize(idx + 1, 0);
+                    }
+                    expected_recv[idx] += 1;
+                }
+            }
+        }
+        let tl = t.send_recv_timeline(node, window);
+        for (i, &(s, r)) in tl.iter().enumerate() {
+            assert_eq!(s, expected_send.get(i).copied().unwrap_or(0), "send w{i}");
+            assert_eq!(r, expected_recv.get(i).copied().unwrap_or(0), "recv w{i}");
+        }
+        let dst = t.destination_timeline(node, window);
+        let pulled: u64 = dst.iter().flat_map(|w| w.values()).sum();
+        assert_eq!(pulled, tl.iter().map(|&(_, r)| r).sum::<u64>());
+    }
+
+    #[test]
+    fn accumulation_boundary_is_half_open() {
+        // 16 blocks spanning exactly 160 cycles: excluded from
+        // "within 160" (strict <) AND counted in the [160, 640) histogram
+        // bucket — the two sites share one half-open convention.
+        let mut reqs: Vec<Request> = (0..15u64)
+            .map(|i| Request::direct(Cycle::new(i), NodeId::gpu(1), NodeId::gpu(2)))
+            .collect();
+        reqs.push(Request::direct(
+            Cycle::new(160),
+            NodeId::gpu(1),
+            NodeId::gpu(2),
+        ));
+        let t = Trace::new(reqs);
+        assert_eq!(t.accumulation_fraction_within(16, 160), 0.0);
+        assert_eq!(t.accumulation_fraction_within(16, 161), 1.0);
+        let h = t.accumulation_histogram(16);
+        assert_eq!(h.total(), 1);
+        // paper_burst_edges: [0,40) [40,160) [160,640) [640,2560) overflow.
+        assert_eq!(h.fractions()[2], 1.0, "span 160 lands in [160, 640)");
+    }
+
+    #[test]
+    fn fraction_within_matches_histogram_prefix() {
+        // fraction_within(g, edge) == sum of histogram buckets strictly
+        // below edge, for every paper bucket edge.
+        let t = trace(Benchmark::MatrixMultiplication);
+        let h = t.accumulation_histogram(16);
+        let fr = h.fractions();
+        for (prefix_len, edge) in [(1usize, 40u64), (2, 160), (3, 640), (4, 2560)] {
+            let expect: f64 = fr[..prefix_len].iter().sum();
+            let got = t.accumulation_fraction_within(16, edge);
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "edge {edge}: fraction {got} vs histogram prefix {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_sixty_nine_percent_within_160() {
+        // Paper §IV-C: "69.2% of 16-block groups accumulate within 160
+        // cycles". Pinned on the half-open boundary convention (strict <,
+        // matching the [160, 640) histogram bucket): a calibrated bursty
+        // benchmark must reproduce the figure within a few points.
+        let t = trace(Benchmark::PageRank);
+        let frac = t.accumulation_fraction_within(16, 160);
+        assert!(
+            (frac - 0.692).abs() < 0.05,
+            "pr 16-block fraction {frac} should sit near the paper's 0.692"
+        );
+        // The same number must be exactly the histogram prefix below 160.
+        let fr = t.accumulation_histogram(16).fractions();
+        assert!((frac - (fr[0] + fr[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_roundtrip_through_text() {
+        let reqs = vec![
+            Request::direct(Cycle::new(5), NodeId::gpu(1), NodeId::gpu(2))
+                .with_deadline(Cycle::new(905)),
+            Request::direct(Cycle::new(9), NodeId::gpu(2), NodeId::CPU),
+            Request::migration(Cycle::new(12), NodeId::gpu(3), NodeId::gpu(1))
+                .with_deadline(Cycle::new(2_012)),
+        ];
+        let t = Trace::new(reqs);
+        let text = t.to_text();
+        assert!(text.starts_with("# mgpu-trace v2"));
+        let back: Trace = text.parse().unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.requests()[0].deadline, Some(Cycle::new(905)));
+        assert_eq!(back.requests()[1].deadline, None);
+    }
+
+    #[test]
+    fn deadline_free_traces_stay_v1() {
+        let t = trace(Benchmark::Atax);
+        assert!(t.to_text().starts_with("# mgpu-trace v1"));
     }
 
     #[test]
