@@ -37,10 +37,12 @@ pub mod link;
 pub mod page;
 pub mod routing;
 pub mod stats;
+pub mod timeq;
 pub mod topology;
 
 pub use cache::{Cache, CacheConfig};
 pub use events::EventQueue;
 pub use link::Link;
 pub use routing::{RoutingTable, Waypoint};
+pub use timeq::{Busy, Ticket, TimedServer, Vc};
 pub use topology::Topology;

@@ -26,8 +26,9 @@
 //! fabric never needs keys (encryption, MACs and replay protection stay
 //! end-to-end between the communicating pair).
 
-use crate::link::{Link, TrafficClass, TrafficTotals};
+use crate::link::{TrafficClass, TrafficTotals};
 use crate::routing::{RoutingTable, Waypoint};
+use crate::timeq::{Busy, TimedServer, Vc};
 use mgpu_types::{
     ByteSize, Cycle, DenseNodeMap, Duration, NodeId, PairId, PairTable, SystemConfig,
 };
@@ -52,18 +53,23 @@ use mgpu_types::{
 pub struct Topology {
     /// Outgoing data port per node (accounts traffic totals; every hop's
     /// bytes are charged to the port they leave through). Dense-indexed by
-    /// node id — port lookups sit on the per-hop transmit path.
-    node_egress: DenseNodeMap<Link>,
+    /// node id — port lookups sit on the per-hop transmit path. Egress is
+    /// where data-VC credits apply: all fabric backpressure is exerted at
+    /// the port a message leaves through.
+    node_egress: DenseNodeMap<TimedServer>,
     /// Incoming data port per node (occupancy only; zero latency so each
-    /// hop's propagation delay is charged once, at its egress).
-    node_ingress: DenseNodeMap<Link>,
+    /// hop's propagation delay is charged once, at its egress). Always
+    /// unbounded: backpressure lives at egress, never at ingress.
+    node_ingress: DenseNodeMap<TimedServer>,
     /// Outgoing data port per switch, indexed by switch number.
-    switch_egress: Vec<Link>,
+    switch_egress: Vec<TimedServer>,
     /// Incoming data port per switch, indexed by switch number.
-    switch_ingress: Vec<Link>,
+    switch_ingress: Vec<TimedServer>,
     /// Small-message control VC per directed pair. Multi-hop pairs get a
     /// hop-scaled propagation latency and hop-scaled byte accounting.
-    ctrl: PairTable<Link>,
+    /// Finite ctrl-VC credits stall the *sender* (service start shifts to
+    /// the credit-free cycle) so control sends stay infallible.
+    ctrl: PairTable<TimedServer>,
     routes: RoutingTable,
     gpu_count: u16,
 }
@@ -73,6 +79,8 @@ impl Topology {
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
         let routes = RoutingTable::new(config.topology, config.gpu_count);
+        let data_credits = config.flow.data_vc_credits;
+        let ctrl_credits = config.flow.ctrl_vc_credits;
         let mut node_egress = DenseNodeMap::with_gpu_count(config.gpu_count);
         let mut node_ingress = DenseNodeMap::with_gpu_count(config.gpu_count);
         let mut ctrl = PairTable::new();
@@ -82,8 +90,11 @@ impl Topology {
             } else {
                 config.gpu_link_bytes_per_cycle
             };
-            node_egress.insert(node, Link::new(port_bw, config.link_latency));
-            node_ingress.insert(node, Link::new(port_bw, Duration::ZERO));
+            node_egress.insert(
+                node,
+                TimedServer::new(port_bw, config.link_latency, data_credits, None),
+            );
+            node_ingress.insert(node, TimedServer::unbounded(port_bw, Duration::ZERO));
             for dst in node.peers(config.gpu_count) {
                 let pair = PairId::new(node, dst);
                 let bw = if pair.involves_cpu() {
@@ -93,15 +104,22 @@ impl Topology {
                 };
                 let hops = routes.hops(pair) as u64;
                 let latency = Duration::cycles(config.link_latency.as_u64() * hops);
-                ctrl.insert(pair, Link::new(bw, latency));
+                ctrl.insert(pair, TimedServer::new(bw, latency, None, ctrl_credits));
             }
         }
         // Switch ports run at fabric (NVLink) speed.
         let switch_egress = (0..routes.switch_count())
-            .map(|_| Link::new(config.gpu_link_bytes_per_cycle, config.link_latency))
+            .map(|_| {
+                TimedServer::new(
+                    config.gpu_link_bytes_per_cycle,
+                    config.link_latency,
+                    data_credits,
+                    None,
+                )
+            })
             .collect();
         let switch_ingress = (0..routes.switch_count())
-            .map(|_| Link::new(config.gpu_link_bytes_per_cycle, Duration::ZERO))
+            .map(|_| TimedServer::unbounded(config.gpu_link_bytes_per_cycle, Duration::ZERO))
             .collect();
         Topology {
             node_egress,
@@ -115,7 +133,7 @@ impl Topology {
     }
 
     /// The egress port of waypoint `w` (hot path: O(1) dense index).
-    fn egress_mut(&mut self, w: Waypoint) -> &mut Link {
+    fn egress_mut(&mut self, w: Waypoint) -> &mut TimedServer {
         match w {
             Waypoint::Node(n) => self.node_egress.get_mut(n).expect("waypoint within fabric"),
             Waypoint::Switch(s) => self
@@ -126,7 +144,7 @@ impl Topology {
     }
 
     /// The ingress port of waypoint `w` (hot path: O(1) dense index).
-    fn ingress_mut(&mut self, w: Waypoint) -> &mut Link {
+    fn ingress_mut(&mut self, w: Waypoint) -> &mut TimedServer {
         match w {
             Waypoint::Node(n) => self
                 .node_ingress
@@ -161,7 +179,7 @@ impl Topology {
     ///
     /// Panics if `node` is outside the system.
     #[must_use]
-    pub fn egress(&self, node: NodeId) -> &Link {
+    pub fn egress(&self, node: NodeId) -> &TimedServer {
         self.node_egress.get(node).expect("node within system")
     }
 
@@ -171,7 +189,7 @@ impl Topology {
     ///
     /// Panics if `node` is outside the system.
     #[must_use]
-    pub fn ingress(&self, node: NodeId) -> &Link {
+    pub fn ingress(&self, node: NodeId) -> &TimedServer {
         self.node_ingress.get(node).expect("node within system")
     }
 
@@ -181,7 +199,7 @@ impl Topology {
     ///
     /// Panics if the fabric has no switch `s`.
     #[must_use]
-    pub fn switch_egress(&self, s: u16) -> &Link {
+    pub fn switch_egress(&self, s: u16) -> &TimedServer {
         self.switch_egress
             .get(usize::from(s))
             .expect("switch within fabric")
@@ -193,7 +211,7 @@ impl Topology {
     ///
     /// Panics if `pair` references a node outside the system.
     #[must_use]
-    pub fn ctrl(&self, pair: PairId) -> &Link {
+    pub fn ctrl(&self, pair: PairId) -> &TimedServer {
         self.ctrl.get(pair).expect("pair within system")
     }
 
@@ -216,7 +234,49 @@ impl Topology {
     ) -> Cycle {
         assert!(hop < self.routes.hops(pair), "hop within route");
         let w = self.routes.route(pair)[hop];
-        self.egress_mut(w).transmit_parts(now, parts)
+        self.egress_mut(w)
+            .serve_parts_blocking(Vc::Data, now, parts)
+            .done
+    }
+
+    /// Credit-checked variant of [`Topology::depart`]: requests a data-VC
+    /// ticket on the hop's egress server. `Err` is the typed credit
+    /// reject carrying the exact retry cycle — event-driven callers
+    /// reschedule then instead of re-polling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is outside the system or `hop` is past the last
+    /// link of the route.
+    pub fn try_depart(
+        &mut self,
+        pair: PairId,
+        hop: usize,
+        now: Cycle,
+        parts: &[(ByteSize, TrafficClass)],
+    ) -> Result<Cycle, Busy> {
+        assert!(hop < self.routes.hops(pair), "hop within route");
+        let w = self.routes.route(pair)[hop];
+        self.egress_mut(w)
+            .serve_parts(Vc::Data, now, parts)
+            .map(|t| t.done)
+    }
+
+    /// Non-mutating data-VC admission probe on the egress server of
+    /// waypoint `hop` of `pair`'s route: would [`Topology::try_depart`]
+    /// at `now` be granted? Lets callers order side effects (e.g. ACK
+    /// window reservations) after the egress admission decision without
+    /// consuming the credit.
+    pub fn egress_ready(&self, pair: PairId, hop: usize, now: Cycle) -> Result<(), Busy> {
+        assert!(hop < self.routes.hops(pair), "hop within route");
+        match self.routes.route(pair)[hop] {
+            Waypoint::Node(n) => self.node_egress.get(n).expect("waypoint within fabric"),
+            Waypoint::Switch(sw) => self
+                .switch_egress
+                .get(usize::from(sw))
+                .expect("waypoint within fabric"),
+        }
+        .check(Vc::Data, now)
     }
 
     /// Occupies the ingress port of waypoint `hop` on `pair`'s route
@@ -234,7 +294,10 @@ impl Topology {
             "hop within route"
         );
         let w = self.routes.route(pair)[hop];
-        self.ingress_mut(w).occupy(now, bytes)
+        self.ingress_mut(w)
+            .occupy(Vc::Data, now, bytes)
+            .expect("ingress ports are unbounded")
+            .done
     }
 
     /// Transmits a multi-part data message end to end: serializes through
@@ -273,7 +336,8 @@ impl Topology {
         self.node_egress
             .get_mut(src)
             .expect("src within system")
-            .transmit_parts(now, parts)
+            .serve_parts_blocking(Vc::Data, now, parts)
+            .done
     }
 
     /// Books `bytes` on `dst`'s ingress port at `now`; returns when the
@@ -282,7 +346,9 @@ impl Topology {
         self.node_ingress
             .get_mut(dst)
             .expect("dst within system")
-            .occupy(now, bytes)
+            .occupy(Vc::Data, now, bytes)
+            .expect("ingress ports are unbounded")
+            .done
     }
 
     /// Transmits a message over the pair's control VC (requests, trailing
@@ -297,11 +363,11 @@ impl Topology {
         parts: &[(ByteSize, TrafficClass)],
     ) -> Cycle {
         let hops = self.routes.hops(pair) as u64;
-        let link = self.ctrl.get_mut(pair).expect("pair within system");
-        let arrival = link.transmit_parts(now, parts);
+        let vc = self.ctrl.get_mut(pair).expect("pair within system");
+        let arrival = vc.serve_parts_blocking(Vc::Ctrl, now, parts).done;
         for &(bytes, class) in parts {
             if hops > 1 {
-                link.charge_background(bytes * (hops - 1), class);
+                vc.charge_background(bytes * (hops - 1), class);
             }
         }
         arrival
@@ -345,7 +411,7 @@ impl Topology {
             .values()
             .chain(self.switch_egress.iter())
             .chain(self.ctrl.values())
-            .map(Link::latency)
+            .map(TimedServer::latency)
             .min()
             .unwrap_or(Duration::ZERO)
     }
@@ -389,25 +455,44 @@ impl Topology {
         self.node_egress
             .values()
             .chain(self.switch_egress.iter())
-            .map(Link::tampered_messages)
+            .map(TimedServer::tampered_messages)
             .sum()
+    }
+
+    /// Settles every port at drain time `now`: reclaims all credits whose
+    /// grants completed by `now` on both VCs of every server, so the
+    /// conservation invariant `credits_issued == credits_returned` can be
+    /// checked once the fabric is idle. Reclaim is otherwise lazy — it
+    /// happens on the next serve attempt — so an idle port may hold
+    /// settled-but-unreturned credits indefinitely without this call.
+    pub fn settle(&mut self, now: Cycle) {
+        for server in self
+            .node_egress
+            .values_mut()
+            .chain(self.node_ingress.values_mut())
+            .chain(self.switch_egress.iter_mut())
+            .chain(self.switch_ingress.iter_mut())
+            .chain(self.ctrl.values_mut())
+        {
+            server.settle(now);
+        }
     }
 
     /// Iterates over `(node, egress port)` entries in ascending node
     /// order — the per-node data-traffic breakdown (switch ports excluded;
     /// see [`Topology::iter_switch_egress`]).
-    pub fn iter_egress(&self) -> impl Iterator<Item = (NodeId, &Link)> {
+    pub fn iter_egress(&self) -> impl Iterator<Item = (NodeId, &TimedServer)> {
         self.node_egress.iter()
     }
 
     /// Iterates over `(switch, egress port)` entries in switch order —
     /// the per-switch forwarding-traffic breakdown (empty outside
     /// [`TopologyKind::Switch`]).
-    pub fn iter_switch_egress(&self) -> impl Iterator<Item = (u16, &Link)> {
+    pub fn iter_switch_egress(&self) -> impl Iterator<Item = (u16, &TimedServer)> {
         self.switch_egress
             .iter()
             .enumerate()
-            .map(|(s, link)| (s as u16, link))
+            .map(|(s, srv)| (s as u16, srv))
     }
 }
 
@@ -753,6 +838,101 @@ mod tests {
                     expected += bytes * hops;
                 }
                 prop_assert_eq!(topo.traffic_totals().get(TrafficClass::Mac).as_u64(), expected);
+            }
+
+            /// Credit conservation and no-starvation under finite VC
+            /// credits: every message injected through the typed-reject
+            /// retry protocol eventually serves (each `Busy` carries a
+            /// strictly-later retry cycle, and the retry count stays
+            /// bounded), and once the fabric drains, every server on
+            /// every route has returned exactly the credits it issued on
+            /// both VCs.
+            #[test]
+            fn finite_credits_conserve_and_never_starve(
+                shape in ((0u8..3, 3u16..13), (1u32..4, 1u32..3)),
+                msgs in proptest::collection::vec(
+                    ((1u16..64, 1u16..64), (1u64..2048, 0u64..400)), 1..40),
+            ) {
+                let ((sel, gpus), (data_credits, ctrl_credits)) = shape;
+                let kind = match sel {
+                    0 => TopologyKind::FullyConnected,
+                    1 => TopologyKind::Ring,
+                    _ => TopologyKind::Switch { radix: 4 },
+                };
+                let mut cfg = SystemConfig::paper_4gpu();
+                cfg.gpu_count = gpus;
+                cfg.topology = kind;
+                cfg.flow.data_vc_credits = Some(data_credits);
+                cfg.flow.ctrl_vc_credits = Some(ctrl_credits);
+                let mut topo = Topology::new(&cfg);
+
+                let mut horizon = Cycle::ZERO;
+                for ((s, d), (bytes, start)) in msgs {
+                    let src = NodeId::gpu((s - 1) % gpus + 1);
+                    let dst = NodeId::gpu((d - 1) % gpus + 1);
+                    prop_assume!(src != dst);
+                    let pair = PairId::new(src, dst);
+                    let parts = [(ByteSize::new(bytes), TrafficClass::Data)];
+                    let mut now = Cycle::new(start);
+                    for hop in 0..topo.hops(pair) {
+                        let mut retries = 0u32;
+                        let at = loop {
+                            match topo.try_depart(pair, hop, now, &parts) {
+                                Ok(done) => break done,
+                                Err(busy) => {
+                                    prop_assert!(
+                                        busy.retry_at > now,
+                                        "Busy must carry a strictly-later retry cycle"
+                                    );
+                                    now = busy.retry_at;
+                                    retries += 1;
+                                    prop_assert!(
+                                        retries <= 64,
+                                        "no starvation: retry count stays bounded"
+                                    );
+                                }
+                            }
+                        };
+                        now = topo.arrive(pair, hop + 1, at, ByteSize::new(bytes));
+                    }
+                    let ctrl_done = topo.transmit_ctrl(
+                        pair, Cycle::new(start), &[(ByteSize::new(16), TrafficClass::Mac)]);
+                    horizon = horizon.max(now).max(ctrl_done);
+                }
+
+                topo.settle(Cycle::new(horizon.as_u64() + 1));
+                let drained = Cycle::new(horizon.as_u64() + 1);
+                let check = |server: &TimedServer, label: &str| {
+                    for vc in [Vc::Data, Vc::Ctrl] {
+                        assert_eq!(
+                            server.credits_issued(vc),
+                            server.credits_returned(vc),
+                            "{label}: credits leaked on {vc:?}"
+                        );
+                        assert_eq!(
+                            server.credits_issued(vc),
+                            server.grants(vc),
+                            "{label}: issued credits must equal grants on {vc:?}"
+                        );
+                        assert_eq!(
+                            server.occupancy(vc, drained), 0,
+                            "{label}: no credits held after drain on {vc:?}"
+                        );
+                    }
+                };
+                for (node, server) in topo.iter_egress() {
+                    check(server, &format!("egress {node}"));
+                }
+                for (id, server) in topo.iter_switch_egress() {
+                    check(server, &format!("switch egress {id}"));
+                }
+                for node in NodeId::all(gpus) {
+                    check(topo.ingress(node), &format!("ingress {node}"));
+                    for dst in node.peers(gpus) {
+                        let pair = PairId::new(node, dst);
+                        check(topo.ctrl(pair), &format!("ctrl {pair:?}"));
+                    }
+                }
             }
         }
     }

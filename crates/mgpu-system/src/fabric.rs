@@ -15,6 +15,7 @@
 //! booking, one ingress booking, bit-identical timing.
 
 use mgpu_sim::link::{TrafficClass, TrafficTotals, WireParts};
+use mgpu_sim::timeq::Busy;
 use mgpu_sim::topology::Topology;
 use mgpu_types::{ByteSize, Cycle, NodeId, PairId, SystemConfig};
 
@@ -28,6 +29,10 @@ pub struct Transit {
     hop: usize,
     parts: WireParts,
     bytes: ByteSize,
+    /// Set when this waypoint's ingress was already booked but the
+    /// onward egress rejected for credits: the retry must not occupy
+    /// the ingress port (and account its bytes) a second time.
+    cleared_ingress: Option<Cycle>,
 }
 
 impl Transit {
@@ -61,6 +66,17 @@ pub enum HopOutcome {
         /// Arrival time at the next waypoint.
         at: Cycle,
         /// The transit token, advanced one hop.
+        transit: Transit,
+    },
+    /// The waypoint's onward egress is out of data-VC credits: the
+    /// typed backpressure reject. The bytes sit in the waypoint's
+    /// ingress buffer (already booked); re-advance the returned token
+    /// at `retry_at`, when the credit that blocked this hop frees.
+    Blocked {
+        /// Earliest cycle the needed egress credit frees.
+        retry_at: Cycle,
+        /// The transit token, unchanged except it remembers its
+        /// ingress booking — the retry goes straight to egress.
         transit: Transit,
     },
     /// The destination's ingress port finished clocking the bytes in at
@@ -99,28 +115,54 @@ impl Fabric {
                 hop: 1,
                 parts,
                 bytes,
+                cleared_ingress: None,
             },
         )
+    }
+
+    /// Non-mutating admission probe for [`Fabric::begin`]: is `pair`'s
+    /// source egress granting data-VC credits at `now`? `Err` carries the
+    /// exact retry cycle. Callers order irreversible side effects (ACK
+    /// window reservations) *after* this check so a credit reject leaves
+    /// nothing to unwind.
+    pub fn egress_ready(&self, pair: PairId, now: Cycle) -> Result<(), Busy> {
+        self.topo.egress_ready(pair, 0, now)
     }
 
     /// Advances in-flight bytes through the waypoint they just reached:
     /// books its ingress port, and — unless it is the destination — its
     /// egress port toward the next waypoint.
     pub fn advance(&mut self, transit: Transit, now: Cycle) -> HopOutcome {
-        let through = self
-            .topo
-            .arrive(transit.pair, transit.hop, now, transit.bytes);
+        // A retry after a credit reject already holds its ingress
+        // booking: clocking the bytes in again would double-book the
+        // port and double-count the bytes.
+        let through = match transit.cleared_ingress {
+            Some(t) => t.max(now),
+            None => self
+                .topo
+                .arrive(transit.pair, transit.hop, now, transit.bytes),
+        };
         if transit.hop == self.topo.hops(transit.pair) {
             HopOutcome::Delivered { at: through }
         } else {
-            let at = self
+            match self
                 .topo
-                .depart(transit.pair, transit.hop, through, &transit.parts);
-            HopOutcome::Forwarded {
-                at,
-                transit: Transit {
-                    hop: transit.hop + 1,
-                    ..transit
+                .try_depart(transit.pair, transit.hop, through, &transit.parts)
+            {
+                Ok(at) => HopOutcome::Forwarded {
+                    at,
+                    transit: Transit {
+                        hop: transit.hop + 1,
+                        cleared_ingress: None,
+                        ..transit
+                    },
+                },
+                Err(busy) => HopOutcome::Blocked {
+                    retry_at: busy.retry_at,
+                    transit: Transit {
+                        cleared_ingress: Some(through),
+                        ..transit
+                    },
                 },
             }
         }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod flow;
 pub mod harness;
 pub mod metrics;
 pub mod nic_pool;
@@ -40,6 +41,7 @@ pub mod simulation;
 pub mod timeseries;
 
 pub use fabric::Fabric;
+pub use flow::{CreditGate, CreditPool, Reject, WakeupLadder};
 pub use harness::WireHarness;
 pub use metrics::{LatencyReport, RunReport};
 pub use runner::{compare_schemes, compare_schemes_with, normalized_time, SchemeResult};

@@ -2,16 +2,16 @@
 //!
 //! [`NicPool`] groups everything the event loop needs from the security
 //! layer: one [`SecureNic`] per node (crypto pipeline, OTP buffers,
-//! metadata batcher), the per-sender ACK-table occupancy counters, and
-//! the queue of prepared blocks deferred because their sender's table was
-//! full. An outgoing MAC-carrying block (or batch closer) holds one table
-//! entry until its ACK returns; a full table back-pressures further
-//! protected sends.
+//! metadata batcher) plus the per-sender replay-protection ACK windows,
+//! held as a [`CreditGate`]: an outgoing MAC-carrying block (or batch
+//! closer) takes one window credit until its ACK returns; an exhausted
+//! window answers [`Reject::AwaitCredit`] and the block parks at the
+//! gate until a release unparks it under the configured arbitration.
 
+use crate::flow::{CreditGate, Reject};
 use crate::node::{PreparedBlock, SecureNic};
 use mgpu_sim::link::WireParts;
 use mgpu_types::{ByteSize, Cycle, DenseNodeMap, NodeId, SystemConfig};
-use std::collections::VecDeque;
 
 /// A prepared, MAC-carrying block parked until a replay-table entry
 /// frees: `(pending index, wire parts, message counter)`.
@@ -19,7 +19,7 @@ pub type DeferredBlock = (usize, WireParts, u64);
 
 /// Per-node security state for one simulation run.
 ///
-/// Generic over the deferred-block payload `D`: the single-thread engine
+/// Generic over the parked-block payload `D`: the single-thread engine
 /// parks `(pending index, wire parts, counter)` tuples ([`DeferredBlock`],
 /// the default), while the sharded engine parks its self-describing
 /// request tokens. Everything except [`NicPool::defer`] /
@@ -27,10 +27,10 @@ pub type DeferredBlock = (usize, WireParts, u64);
 #[derive(Debug)]
 pub struct NicPool<D = DeferredBlock> {
     nics: DenseNodeMap<SecureNic>,
-    /// Free replay-table entries per sender. Signed: trailer flushes
-    /// reserve unconditionally and may transiently overdraw.
-    ack_free: DenseNodeMap<i64>,
-    deferred: DenseNodeMap<VecDeque<D>>,
+    /// Replay-table (ACK window) credits per sender. Signed: trailer
+    /// flushes take a credit unconditionally and may transiently
+    /// overdraw. Blocked senders park their prepared blocks here.
+    gate: CreditGate<D>,
 }
 
 impl<D> NicPool<D> {
@@ -47,19 +47,20 @@ impl<D> NicPool<D> {
             DenseNodeMap::new()
         };
         let capacity = i64::from(config.security.ack_table_entries);
-        let ack_free = NodeId::all(config.gpu_count)
-            .map(|n| (n, capacity))
-            .collect();
-        NicPool {
-            nics,
-            ack_free,
-            deferred: DenseNodeMap::new(),
-        }
+        let gate = CreditGate::new(
+            NodeId::all(config.gpu_count),
+            capacity,
+            config.flow.arbitration,
+        );
+        NicPool { nics, gate }
     }
 
-    /// Builds a pool whose NICs cover only `owned` (a shard's node
-    /// partition). ACK-table counters still exist for every node — they
-    /// are cheap, and only the owning shard ever touches an entry.
+    /// Builds a pool whose NICs and ACK windows cover only `owned` (a
+    /// shard's node partition). Scoping the credit gate to owned nodes
+    /// makes the ownership explicit: every ACK-window decision is local
+    /// to the shard that owns the sender, and the balances are handed
+    /// back over the shard boundary by [`NicPool::absorb`] at end of
+    /// run — no shard ever peeks at another's credits.
     #[must_use]
     pub fn for_nodes(config: &SystemConfig, secure: bool, owned: &[NodeId]) -> Self {
         let nics = if secure {
@@ -71,28 +72,21 @@ impl<D> NicPool<D> {
             DenseNodeMap::new()
         };
         let capacity = i64::from(config.security.ack_table_entries);
-        let ack_free = NodeId::all(config.gpu_count)
-            .map(|n| (n, capacity))
-            .collect();
-        NicPool {
-            nics,
-            ack_free,
-            deferred: DenseNodeMap::new(),
-        }
+        let gate = CreditGate::new(owned.iter().copied(), capacity, config.flow.arbitration);
+        NicPool { nics, gate }
     }
 
     /// Takes ownership of `owned`'s per-node state from `other` (a shard
     /// pool being folded back into the coordinator's merged pool at end of
-    /// run). Deferred queues are not carried over: a drained run has no
-    /// parked blocks left.
+    /// run): the NICs move over and the ACK-window credit balances are
+    /// exchanged across the shard boundary. Park queues are not carried
+    /// over: a drained run has no parked blocks left.
     pub fn absorb<D2>(&mut self, other: &mut NicPool<D2>, owned: &[NodeId]) {
         for &n in owned {
             if let Some(nic) = other.nics.remove(n) {
                 self.nics.insert(n, nic);
             }
-            if let Some(&free) = other.ack_free.get(n) {
-                self.ack_free.insert(n, free);
-            }
+            self.gate.adopt_credit(&other.gate, n);
         }
     }
 
@@ -146,37 +140,32 @@ impl<D> NicPool<D> {
         self.nics.get_mut(owner).expect("nic").flush_all()
     }
 
-    /// Tries to reserve a replay-table entry at `owner` for an outgoing
-    /// MAC-carrying block. Returns `false` (and reserves nothing) when the
-    /// table is full — the caller should park the block with
-    /// [`NicPool::defer`].
-    pub fn try_reserve_ack(&mut self, owner: NodeId) -> bool {
-        let free = self.ack_free.get_mut(owner).expect("node exists");
-        if *free <= 0 {
-            return false;
-        }
-        *free -= 1;
-        true
+    /// Requests a replay-table (ACK window) credit at `owner` for an
+    /// outgoing MAC-carrying block. [`Reject::AwaitCredit`] means the
+    /// window is exhausted and nothing was taken — park the block with
+    /// [`NicPool::defer`]; the returning ACK unparks it.
+    pub fn admit_ack(&mut self, owner: NodeId) -> Result<(), Reject> {
+        self.gate.admit(owner)
     }
 
-    /// Unconditionally reserves a replay-table entry at `owner` (batch
-    /// trailer flushes are never deferred).
-    pub fn reserve_ack(&mut self, owner: NodeId) {
-        *self.ack_free.get_mut(owner).expect("node exists") -= 1;
+    /// Takes a replay-table credit at `owner` unconditionally, possibly
+    /// overdrawing the window (batch trailer flushes are never parked).
+    pub fn overdraw_ack(&mut self, owner: NodeId) {
+        self.gate.overdraw(owner);
     }
 
-    /// Parks a prepared block at `owner` until a table entry frees.
-    pub fn defer(&mut self, owner: NodeId, block: D) {
-        self.deferred
-            .get_or_insert_with(owner, VecDeque::new)
-            .push_back(block);
+    /// Parks a prepared block at `owner` until a window credit frees.
+    /// `priority` is the fixed-priority arbitration key (the originating
+    /// request index: lower unparks first); round-robin ignores it.
+    pub fn defer(&mut self, owner: NodeId, priority: u64, block: D) {
+        self.gate.park(owner, priority, block);
     }
 
-    /// Releases one replay-table entry at `owner` (its ACK returned) and
-    /// unparks the oldest deferred block, if any.
+    /// Releases one replay-table credit at `owner` (its ACK returned)
+    /// and unparks the next parked block under the configured
+    /// arbitration, if any.
     pub fn release_ack(&mut self, owner: NodeId) -> Option<D> {
-        *self.ack_free.get_mut(owner).expect("node exists") += 1;
-        self.deferred.get_mut(owner)?.pop_front()
+        self.gate.release(owner)
     }
 
     /// Advances every NIC's scheme to `now`, processing any pending
@@ -195,11 +184,18 @@ impl<D> NicPool<D> {
         self.nics.iter()
     }
 
-    /// Free replay-table entries at `node` (negative while trailer
+    /// Free replay-table credits at `node` (negative while trailer
     /// flushes transiently overdraw).
     #[must_use]
     pub fn ack_free(&self, node: NodeId) -> i64 {
-        self.ack_free.get(node).copied().unwrap_or(0)
+        self.gate.free(node)
+    }
+
+    /// ACK-window credits granted at `node` so far (admissions plus
+    /// trailer overdraws).
+    #[must_use]
+    pub fn ack_grants(&self, node: NodeId) -> u64 {
+        self.gate.grants(node)
     }
 
     /// Aggregated OTP statistics, pads issued, and mean batch occupancy
@@ -241,43 +237,65 @@ mod tests {
     }
 
     #[test]
-    fn ack_table_backpressures_and_releases_fifo() {
+    fn ack_window_backpressures_and_releases_fifo() {
         let mut p = pool();
         let owner = NodeId::gpu(1);
-        assert!(p.try_reserve_ack(owner));
-        assert!(p.try_reserve_ack(owner));
-        assert!(!p.try_reserve_ack(owner), "table of 2 is full");
-        p.defer(owner, (7, WireParts::new(), 1));
-        p.defer(owner, (8, WireParts::new(), 2));
-        let first = p.release_ack(owner).expect("oldest deferred unparks");
+        assert!(p.admit_ack(owner).is_ok());
+        assert!(p.admit_ack(owner).is_ok());
+        assert_eq!(
+            p.admit_ack(owner),
+            Err(Reject::AwaitCredit),
+            "window of 2 is full"
+        );
+        p.defer(owner, 7, (7, WireParts::new(), 1));
+        p.defer(owner, 8, (8, WireParts::new(), 2));
+        let first = p.release_ack(owner).expect("oldest parked unparks");
         assert_eq!(first.0, 7);
-        let second = p.release_ack(owner).expect("next deferred unparks");
+        let second = p.release_ack(owner).expect("next parked unparks");
         assert_eq!(second.0, 8);
         assert!(p.release_ack(owner).is_none());
+        assert_eq!(p.ack_grants(owner), 2);
+    }
+
+    #[test]
+    fn fixed_priority_arbitration_unparks_oldest_request_first() {
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.scheme = OtpSchemeKind::Private;
+        cfg.security.ack_table_entries = 1;
+        cfg.flow.arbitration = mgpu_types::ArbitrationKind::FixedPriority;
+        let mut p: NicPool = NicPool::new(&cfg, true);
+        let owner = NodeId::gpu(1);
+        assert!(p.admit_ack(owner).is_ok());
+        // Parked out of request order: fixed priority unparks index 3 first.
+        p.defer(owner, 9, (9, WireParts::new(), 1));
+        p.defer(owner, 3, (3, WireParts::new(), 2));
+        assert_eq!(p.release_ack(owner).expect("unparks").0, 3);
+        assert_eq!(p.release_ack(owner).expect("unparks").0, 9);
     }
 
     #[test]
     fn trailer_reservation_can_overdraw() {
         let mut p = pool();
         let owner = NodeId::gpu(2);
-        assert!(p.try_reserve_ack(owner));
-        assert!(p.try_reserve_ack(owner));
-        // A batch-closing trailer reserves even when the table is full...
-        p.reserve_ack(owner);
+        assert!(p.admit_ack(owner).is_ok());
+        assert!(p.admit_ack(owner).is_ok());
+        // A batch-closing trailer takes a credit even when the window is
+        // full...
+        p.overdraw_ack(owner);
         // ...so three releases are needed before a new block fits.
         assert!(p.release_ack(owner).is_none());
-        assert!(!p.try_reserve_ack(owner));
+        assert_eq!(p.admit_ack(owner), Err(Reject::AwaitCredit));
         p.release_ack(owner);
         p.release_ack(owner);
-        assert!(p.try_reserve_ack(owner));
+        assert!(p.admit_ack(owner).is_ok());
     }
 
     #[test]
-    fn unsecure_pool_has_no_nics_but_keeps_tables() {
+    fn unsecure_pool_has_no_nics_but_keeps_windows() {
         let cfg = SystemConfig::paper_4gpu();
         let mut p: NicPool = NicPool::new(&cfg, false);
         assert!(p.owners().is_empty());
         assert!(p.flush_due(NodeId::gpu(1), Cycle::ZERO).is_empty());
-        assert!(p.try_reserve_ack(NodeId::gpu(1)));
+        assert!(p.admit_ack(NodeId::gpu(1)).is_ok());
     }
 }

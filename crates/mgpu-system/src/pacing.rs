@@ -15,24 +15,17 @@
 //! inference serving. The slot limit still bounds concurrency, so a
 //! saturated node accumulates queueing delay that surfaces as request
 //! latency instead of silently shifting the arrival process.
+//!
+//! Issue slots are [`CreditPool`] credits and every non-issue answer is
+//! a typed [`Reject`]: `NotBefore` names the compute-ready cycle (arm
+//! one wakeup), `AwaitCredit` says a completion will re-offer, and
+//! `Drained` ends the node's stream — the flow-substrate contract, with
+//! no decision enum of its own.
 
+use crate::flow::{CreditPool, Reject};
 use mgpu_types::{Cycle, DenseNodeMap, Duration, NodeId};
 use mgpu_workloads::Request;
 use std::collections::{BTreeMap, VecDeque};
-
-/// The outcome of asking a node to issue at `now`.
-#[derive(Debug)]
-pub enum IssueDecision {
-    /// The node issues this request now (a slot was consumed).
-    Issue(Request),
-    /// The node's next request becomes compute-ready at this later cycle;
-    /// re-poll then.
-    NotBefore(Cycle),
-    /// All slots are in flight; a completion will re-poll.
-    Stalled,
-    /// The node's queue is empty.
-    Drained,
-}
 
 /// How a node's next request becomes eligible to issue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,7 +47,8 @@ pub struct IssuePacer {
     reqs: DenseNodeMap<VecDeque<Request>>,
     /// Virtual time: when the node's previous request issued.
     vt: DenseNodeMap<Cycle>,
-    free_slots: DenseNodeMap<u32>,
+    /// Issue-slot credits (the node's memory-level parallelism).
+    slots: CreditPool,
 }
 
 impl IssuePacer {
@@ -87,13 +81,13 @@ impl IssuePacer {
             reqs.insert(node, queue);
         }
         let vt = reqs.keys().map(|n| (n, Cycle::ZERO)).collect();
-        let free_slots = reqs.keys().map(|n| (n, slots)).collect();
+        let slots = CreditPool::new(reqs.keys(), slots);
         IssuePacer {
             mode,
             gaps,
             reqs,
             vt,
-            free_slots,
+            slots,
         }
     }
 
@@ -103,10 +97,12 @@ impl IssuePacer {
     }
 
     /// Polls `node` for an issue at `now`. Idempotent: every condition is
-    /// re-checked at call time, so stale polls are harmless.
-    pub fn poll(&mut self, node: NodeId, now: Cycle) -> IssueDecision {
+    /// re-checked at call time, so stale polls are harmless. `Ok` carries
+    /// the issued request (a slot credit was consumed); `Err` is the
+    /// typed reject telling the caller exactly what re-offers service.
+    pub fn poll(&mut self, node: NodeId, now: Cycle) -> Result<Request, Reject> {
         let Some(front_gap) = self.gaps[node].front().copied() else {
-            return IssueDecision::Drained;
+            return Err(Reject::Drained);
         };
         let avail = match self.mode {
             PacingMode::ClosedLoop => self.vt[node] + front_gap,
@@ -118,11 +114,9 @@ impl IssuePacer {
             }
         };
         if avail > now {
-            return IssueDecision::NotBefore(avail);
+            return Err(Reject::NotBefore(avail));
         }
-        if self.free_slots[node] == 0 {
-            return IssueDecision::Stalled;
-        }
+        self.slots.take(node)?;
         let request = self
             .reqs
             .get_mut(node)
@@ -131,13 +125,19 @@ impl IssuePacer {
             .expect("gap implies request");
         self.gaps.get_mut(node).expect("gaps exist").pop_front();
         self.vt.insert(node, now);
-        *self.free_slots.get_mut(node).expect("slots exist") -= 1;
-        IssueDecision::Issue(request)
+        Ok(request)
     }
 
-    /// Returns `node`'s issue slot after one of its requests completes.
+    /// Returns `node`'s issue-slot credit after one of its requests
+    /// completes.
     pub fn complete(&mut self, node: NodeId) {
-        *self.free_slots.get_mut(node).expect("slots exist") += 1;
+        self.slots.put(node);
+    }
+
+    /// Issue-slot credits granted to `node` so far.
+    #[must_use]
+    pub fn slot_grants(&self, node: NodeId) -> u64 {
+        self.slots.grants(node)
     }
 }
 
@@ -163,17 +163,14 @@ mod tests {
             ]),
             4,
         );
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        assert!(p.poll(g1, Cycle::ZERO).is_ok());
         // Second request needs its 10-cycle compute gap after the first.
-        match p.poll(g1, Cycle::new(3)) {
-            IssueDecision::NotBefore(c) => assert_eq!(c, Cycle::new(10)),
-            other => panic!("expected NotBefore, got {other:?}"),
-        }
-        assert!(matches!(
-            p.poll(g1, Cycle::new(10)),
-            IssueDecision::Issue(_)
-        ));
-        assert!(matches!(p.poll(g1, Cycle::new(10)), IssueDecision::Drained));
+        assert_eq!(
+            p.poll(g1, Cycle::new(3)).unwrap_err(),
+            Reject::NotBefore(Cycle::new(10))
+        );
+        assert!(p.poll(g1, Cycle::new(10)).is_ok());
+        assert_eq!(p.poll(g1, Cycle::new(10)).unwrap_err(), Reject::Drained);
     }
 
     #[test]
@@ -186,10 +183,10 @@ mod tests {
             ]),
             1,
         );
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Stalled));
+        assert!(p.poll(g1, Cycle::ZERO).is_ok());
+        assert_eq!(p.poll(g1, Cycle::ZERO).unwrap_err(), Reject::AwaitCredit);
         p.complete(g1);
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        assert!(p.poll(g1, Cycle::ZERO).is_ok());
     }
 
     #[test]
@@ -204,18 +201,9 @@ mod tests {
         );
         // First issues late (at 100): the second is *already* eligible —
         // its arrival at cycle 5 was not pushed back.
-        assert!(matches!(
-            p.poll(g1, Cycle::new(100)),
-            IssueDecision::Issue(_)
-        ));
-        assert!(matches!(
-            p.poll(g1, Cycle::new(100)),
-            IssueDecision::Issue(_)
-        ));
-        assert!(matches!(
-            p.poll(g1, Cycle::new(100)),
-            IssueDecision::Drained
-        ));
+        assert!(p.poll(g1, Cycle::new(100)).is_ok());
+        assert!(p.poll(g1, Cycle::new(100)).is_ok());
+        assert_eq!(p.poll(g1, Cycle::new(100)).unwrap_err(), Reject::Drained);
     }
 
     #[test]
@@ -228,11 +216,11 @@ mod tests {
             ]),
             4,
         );
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
-        match p.poll(g1, Cycle::new(10)) {
-            IssueDecision::NotBefore(c) => assert_eq!(c, Cycle::new(50)),
-            other => panic!("expected NotBefore, got {other:?}"),
-        }
+        assert!(p.poll(g1, Cycle::ZERO).is_ok());
+        assert_eq!(
+            p.poll(g1, Cycle::new(10)).unwrap_err(),
+            Reject::NotBefore(Cycle::new(50))
+        );
     }
 
     #[test]
@@ -245,10 +233,11 @@ mod tests {
             ]),
             1,
         );
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Stalled));
+        assert!(p.poll(g1, Cycle::ZERO).is_ok());
+        assert_eq!(p.poll(g1, Cycle::ZERO).unwrap_err(), Reject::AwaitCredit);
         p.complete(g1);
-        assert!(matches!(p.poll(g1, Cycle::ZERO), IssueDecision::Issue(_)));
+        assert!(p.poll(g1, Cycle::ZERO).is_ok());
+        assert_eq!(p.slot_grants(g1), 2);
     }
 
     #[test]
@@ -262,13 +251,10 @@ mod tests {
             4,
         );
         // First issues late (at 100): the 5-cycle gap now counts from 100.
-        assert!(matches!(
-            p.poll(g1, Cycle::new(100)),
-            IssueDecision::Issue(_)
-        ));
-        match p.poll(g1, Cycle::new(100)) {
-            IssueDecision::NotBefore(c) => assert_eq!(c, Cycle::new(105)),
-            other => panic!("expected NotBefore, got {other:?}"),
-        }
+        assert!(p.poll(g1, Cycle::new(100)).is_ok());
+        assert_eq!(
+            p.poll(g1, Cycle::new(100)).unwrap_err(),
+            Reject::NotBefore(Cycle::new(105))
+        );
     }
 }

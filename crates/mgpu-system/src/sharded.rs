@@ -35,10 +35,11 @@
 //! sampling intervals shorter than the lookahead.
 
 use crate::fabric::{Fabric, HopOutcome, Transit};
+use crate::flow::{Reject, WakeupLadder};
 use crate::harness::WireHarness;
 use crate::metrics::RunReport;
 use crate::nic_pool::NicPool;
-use crate::pacing::{IssueDecision, IssuePacer};
+use crate::pacing::IssuePacer;
 use crate::simulation::{drain_open_batches, Simulation};
 use crate::timeseries::TimeSeriesCollector;
 use mgpu_sim::dram::Hbm;
@@ -187,7 +188,7 @@ struct Shard<'a> {
     hbm: DenseNodeMap<Hbm>,
     pool: NicPool<Deferred>,
     pacer: IssuePacer,
-    armed: DenseNodeMap<Option<Cycle>>,
+    armed: WakeupLadder,
     queue: ShardQueue<SEv>,
     /// Shard-local event creation counter (the `seq` of new stamps).
     seq: u64,
@@ -257,18 +258,15 @@ impl Shard<'_> {
         }
         match ev {
             SEv::TryIssue(node) => {
-                if self.armed[node] == Some(now) {
-                    self.armed.insert(node, None);
-                }
+                self.armed.fired(node, now);
                 match self.pacer.poll(node, now) {
-                    IssueDecision::Drained | IssueDecision::Stalled => {}
-                    IssueDecision::NotBefore(avail) => {
-                        if self.armed[node].is_none() {
+                    Err(Reject::Drained | Reject::AwaitCredit) => {}
+                    Err(Reject::NotBefore(avail)) => {
+                        if self.armed.arm(node, avail) {
                             self.sched(stamp, now, avail, SEv::TryIssue(node));
-                            self.armed.insert(node, Some(avail));
                         }
                     }
-                    IssueDecision::Issue(request) => {
+                    Ok(request) => {
                         self.stats.last_issue = self.stats.last_issue.max(now);
                         let tok = ReqToken {
                             idx: u32::try_from(self.pending.len()).expect("pending fits u32"),
@@ -356,11 +354,30 @@ impl Shard<'_> {
                 counter,
                 acks,
             } => {
-                if acks && !self.pool.try_reserve_ack(tok.owner) {
-                    self.pool.defer(tok.owner, (tok, parts, counter));
+                let pair = PairId::new(tok.owner, tok.requester);
+                // Mirror of the single-thread engine: egress admission
+                // precedes the ACK reservation so a credit retry never
+                // double-reserves. The owner shard holds both the egress
+                // server and the ACK window, so the decision is local.
+                if let Err(busy) = self.fabric.egress_ready(pair, now) {
+                    self.sched(
+                        stamp,
+                        now,
+                        busy.retry_at,
+                        SEv::BlockEgress {
+                            tok,
+                            parts,
+                            counter,
+                            acks,
+                        },
+                    );
                     return;
                 }
-                let pair = PairId::new(tok.owner, tok.requester);
+                if acks && self.pool.admit_ack(tok.owner).is_err() {
+                    self.pool
+                        .defer(tok.owner, u64::from(tok.idx), (tok, parts, counter));
+                    return;
+                }
                 let (at, transit) = self.fabric.begin(pair, now, parts);
                 self.sched(
                     stamp,
@@ -395,6 +412,21 @@ impl Shard<'_> {
                 }
                 HopOutcome::Delivered { at } => {
                     self.sched(stamp, now, at, SEv::BlockRecv { tok, counter, acks });
+                }
+                HopOutcome::Blocked { retry_at, transit } => {
+                    // The retry stays on this waypoint (same hop index),
+                    // hence on this shard — no cross-shard credit peeking.
+                    self.sched(
+                        stamp,
+                        now,
+                        retry_at,
+                        SEv::BlockIngress {
+                            tok,
+                            transit,
+                            counter,
+                            acks,
+                        },
+                    );
                 }
             },
             SEv::BlockRecv { tok, counter, acks } => {
@@ -468,7 +500,7 @@ impl Shard<'_> {
                     if let Some(col) = self.collector.as_mut() {
                         col.record_batch_close(now, owner, false);
                     }
-                    self.pool.reserve_ack(owner);
+                    self.pool.overdraw_ack(owner);
                     let arrive = self.fabric.transmit_ctrl(
                         PairId::new(owner, dst),
                         now,
@@ -643,7 +675,7 @@ pub(crate) fn run(
         } else {
             IssuePacer::new(queues, slots_per_gpu)
         };
-        let armed: DenseNodeMap<Option<Cycle>> = pacer.nodes().map(|n| (n, None)).collect();
+        let armed = WakeupLadder::new(pacer.nodes());
         let collector = observability.then(|| {
             let node_mask: Vec<bool> = (0..cfg.node_count())
                 .map(|raw| {

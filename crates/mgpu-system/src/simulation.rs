@@ -25,10 +25,11 @@
 //!   topologies; encryption, MACs and replay protection stay end-to-end).
 
 use crate::fabric::{Fabric, HopOutcome, Transit};
+use crate::flow::{Reject, WakeupLadder};
 use crate::harness::WireHarness;
 use crate::metrics::RunReport;
 use crate::nic_pool::NicPool;
-use crate::pacing::{IssueDecision, IssuePacer};
+use crate::pacing::IssuePacer;
 use crate::timeseries::TimeSeriesCollector;
 use mgpu_sim::dram::Hbm;
 use mgpu_sim::events::EventQueue;
@@ -326,21 +327,10 @@ impl Simulation {
         for node in pacer.nodes().collect::<Vec<_>>() {
             events.schedule(Cycle::ZERO, Ev::TryIssue(node));
         }
-        // Gap-wakeup dedup. `armed[n] = Some(t)` records that a `TryIssue`
-        // for `n` is already queued at a time no later than `n`'s current
-        // compute-ready cycle, so a `NotBefore` poll need not queue
-        // another. Without it every completion-triggered poll of a waiting
-        // node spawns a duplicate wakeup at the same `avail`, and each
-        // duplicate re-spawns one at the next `avail`: the population
-        // never decays (~90% of all events on dense cells). No wakeup is
-        // lost — the armed time never exceeds the live ready cycle (for
-        // issue `k`: `avail_k <= issue_time_k <= avail_{k+1}`) — so every
-        // request still issues on its exact ready cycle. What dedup does
-        // change is which queue position serves a burst when redundant
-        // wakeups coincide with a same-cycle completion, so a minority of
-        // cells shift by a few cycles through port-booking order; the
-        // pinned golden matrix is verified unchanged (see DESIGN.md §10).
-        let mut armed: DenseNodeMap<Option<Cycle>> = pacer.nodes().map(|n| (n, None)).collect();
+        // Gap-wakeup dedup (see `flow::WakeupLadder` and DESIGN.md §10):
+        // a `NotBefore` reject arms at most one wakeup per node, so the
+        // duplicate-poll population cannot grow and no wakeup is lost.
+        let mut ladder = WakeupLadder::new(pacer.nodes());
 
         // Observability is opt-in and zero-cost when off: every hook below
         // is behind this Option. Sampling aligns with the repartition
@@ -370,21 +360,18 @@ impl Simulation {
             }
             match ev {
                 Ev::TryIssue(node) => {
-                    if armed[node] == Some(now) {
-                        armed.insert(node, None);
-                    }
+                    ladder.fired(node, now);
                     match pacer.poll(node, now) {
-                        IssueDecision::Drained | IssueDecision::Stalled => {
-                            // Drained: nothing left. Stalled: a completion
-                            // will re-poll.
+                        Err(Reject::Drained | Reject::AwaitCredit) => {
+                            // Drained: nothing left. AwaitCredit: a
+                            // completion returns the slot and re-polls.
                         }
-                        IssueDecision::NotBefore(avail) => {
-                            if armed[node].is_none() {
+                        Err(Reject::NotBefore(avail)) => {
+                            if ladder.arm(node, avail) {
                                 events.schedule(avail, Ev::TryIssue(node));
-                                armed.insert(node, Some(avail));
                             }
                         }
-                        IssueDecision::Issue(request) => {
+                        Ok(request) => {
                             last_issue = last_issue.max(now);
                             let idx = pending.len();
                             pending.push(Pending {
@@ -470,17 +457,33 @@ impl Simulation {
                     acks,
                 } => {
                     let owner = pending[idx].owner;
+                    let pair = PairId::new(owner, pending[idx].requester);
+                    // Egress admission first: a credit reject reschedules
+                    // the whole egress at the credit-free cycle before any
+                    // irreversible side effect (the ACK window reservation
+                    // below), so a retry never double-reserves.
+                    if let Err(busy) = fabric.egress_ready(pair, now) {
+                        events.schedule(
+                            busy.retry_at,
+                            Ev::BlockEgress {
+                                idx,
+                                parts,
+                                counter,
+                                acks,
+                            },
+                        );
+                        continue;
+                    }
                     if acks {
                         // This block carries a MsgMAC (unbatched block or
                         // batch closer): it must hold a replay-table entry
                         // until its ACK returns. A full table defers the
                         // release.
-                        if !pool.try_reserve_ack(owner) {
-                            pool.defer(owner, (idx, parts, counter));
+                        if pool.admit_ack(owner).is_err() {
+                            pool.defer(owner, idx as u64, (idx, parts, counter));
                             continue;
                         }
                     }
-                    let pair = PairId::new(owner, pending[idx].requester);
                     let (at, transit) = fabric.begin(pair, now, parts);
                     events.schedule(
                         at,
@@ -511,6 +514,20 @@ impl Simulation {
                     }
                     HopOutcome::Delivered { at } => {
                         events.schedule(at, Ev::BlockRecv { idx, counter, acks });
+                    }
+                    HopOutcome::Blocked { retry_at, transit } => {
+                        // Typed credit backpressure from the onward hop:
+                        // one retry at the exact credit-free cycle, no
+                        // re-polling. The token holds its ingress booking.
+                        events.schedule(
+                            retry_at,
+                            Ev::BlockIngress {
+                                idx,
+                                transit,
+                                counter,
+                                acks,
+                            },
+                        );
                     }
                 },
                 Ev::BlockRecv { idx, counter, acks } => {
@@ -598,7 +615,7 @@ impl Simulation {
                         }
                         // A flushed batch closes: its trailer occupies a
                         // replay-table entry until the batch ACK returns.
-                        pool.reserve_ack(owner);
+                        pool.overdraw_ack(owner);
                         let arrive = fabric.transmit_ctrl(
                             PairId::new(owner, dst),
                             now,

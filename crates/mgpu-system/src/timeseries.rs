@@ -69,6 +69,9 @@ pub struct IntervalSample {
     /// Free replay-table (ACK window) entries; negative when trailer
     /// flushes transiently overdraw the table.
     pub ack_window_free: i64,
+    /// Cumulative ACK-window credit grants the node's gate has issued
+    /// (arbitration admissions, including overdraws).
+    pub ack_window_grants: u64,
 }
 
 impl IntervalSample {
@@ -96,6 +99,16 @@ pub struct FabricSample {
     /// Cycles until the port frees (its serialization backlog at the
     /// boundary).
     pub queue_depth: u64,
+    /// Data-VC credits held at the boundary: grants whose service had
+    /// not yet completed when the sample was taken.
+    pub data_vc_occupancy: u64,
+    /// Ctrl-VC credits held at the boundary. Egress ports carry only
+    /// data traffic, so this stays zero today; it is sampled so a future
+    /// shared-port topology needs no schema change.
+    pub ctrl_vc_occupancy: u64,
+    /// Cumulative arbitration grants the port's timed server has issued
+    /// across both VCs.
+    pub grants: u64,
 }
 
 /// A discrete protocol event captured in the bounded trace.
@@ -250,7 +263,7 @@ impl Timeline {
         for s in &self.samples {
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"interval\",\"cycle\":{},\"node\":\"{}\",\"send_weight\":{},\"rebalances\":{},\"send_alloc\":{},\"recv_alloc\":{},\"otp_hits\":{},\"otp_partials\":{},\"otp_misses\":{},\"hit_rate\":{},\"batch_closed_full\":{},\"batch_closed_flush\":{},\"batch_occupancy\":{},\"ack_window_free\":{}}}",
+                "{{\"kind\":\"interval\",\"cycle\":{},\"node\":\"{}\",\"send_weight\":{},\"rebalances\":{},\"send_alloc\":{},\"recv_alloc\":{},\"otp_hits\":{},\"otp_partials\":{},\"otp_misses\":{},\"hit_rate\":{},\"batch_closed_full\":{},\"batch_closed_flush\":{},\"batch_occupancy\":{},\"ack_window_free\":{},\"ack_window_grants\":{}}}",
                 s.cycle.as_u64(),
                 node_label(s.node),
                 s.send_weight.map_or_else(|| "null".to_string(), json_f64),
@@ -265,16 +278,20 @@ impl Timeline {
                 s.batch_closed_flush,
                 json_f64(s.batch_occupancy),
                 s.ack_window_free,
+                s.ack_window_grants,
             );
         }
         for f in &self.fabric {
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"fabric\",\"cycle\":{},\"port\":\"{}\",\"bytes_delta\":{},\"queue_depth\":{}}}",
+                "{{\"kind\":\"fabric\",\"cycle\":{},\"port\":\"{}\",\"bytes_delta\":{},\"queue_depth\":{},\"data_vc_occupancy\":{},\"ctrl_vc_occupancy\":{},\"grants\":{}}}",
                 f.cycle.as_u64(),
                 f.port,
                 f.bytes_delta,
                 f.queue_depth,
+                f.data_vc_occupancy,
+                f.ctrl_vc_occupancy,
+                f.grants,
             );
         }
         for r in &self.events {
@@ -516,6 +533,7 @@ impl TimeSeriesCollector {
                 batch_closed_flush: flush - bfl,
                 batch_occupancy: nic.mean_batch_occupancy(),
                 ack_window_free: pool.ack_free(node),
+                ack_window_grants: pool.ack_grants(node),
             });
         }
 
@@ -524,38 +542,43 @@ impl TimeSeriesCollector {
             mask.as_ref()
                 .is_none_or(|m| m.get(idx).copied().unwrap_or(false))
         };
-        let mut ports: Vec<(String, u64, u64)> = topo
+        struct PortStats {
+            bytes: u64,
+            queue_depth: u64,
+            data_vc_occupancy: u64,
+            ctrl_vc_occupancy: u64,
+            grants: u64,
+        }
+        let port_stats = |server: &mgpu_sim::TimedServer| PortStats {
+            bytes: server.totals().total().as_u64(),
+            queue_depth: server.next_free().saturating_since(now).as_u64(),
+            data_vc_occupancy: u64::from(server.occupancy(mgpu_sim::Vc::Data, now)),
+            ctrl_vc_occupancy: u64::from(server.occupancy(mgpu_sim::Vc::Ctrl, now)),
+            grants: server.grants(mgpu_sim::Vc::Data) + server.grants(mgpu_sim::Vc::Ctrl),
+        };
+        let mut ports: Vec<(String, PortStats)> = topo
             .iter_egress()
             .filter(|(node, _)| in_scope(&self.scope_nodes, usize::from(node.raw())))
-            .map(|(node, link)| {
-                (
-                    node_label(node),
-                    link.totals().total().as_u64(),
-                    link.next_free().saturating_since(now).as_u64(),
-                )
-            })
+            .map(|(node, server)| (node_label(node), port_stats(server)))
             .collect();
         ports.extend(
             topo.iter_switch_egress()
                 .filter(|(id, _)| in_scope(&self.scope_switches, usize::from(*id)))
-                .map(|(id, link)| {
-                    (
-                        format!("switch{id}"),
-                        link.totals().total().as_u64(),
-                        link.next_free().saturating_since(now).as_u64(),
-                    )
-                }),
+                .map(|(id, server)| (format!("switch{id}"), port_stats(server))),
         );
-        for (port, bytes, queue_depth) in ports {
+        for (port, stats) in ports {
             let prev = self
                 .prev_port_bytes
-                .insert(port.clone(), bytes)
+                .insert(port.clone(), stats.bytes)
                 .unwrap_or(0);
             self.fabric.push(FabricSample {
                 cycle: now,
                 port,
-                bytes_delta: bytes - prev,
-                queue_depth,
+                bytes_delta: stats.bytes - prev,
+                queue_depth: stats.queue_depth,
+                data_vc_occupancy: stats.data_vc_occupancy,
+                ctrl_vc_occupancy: stats.ctrl_vc_occupancy,
+                grants: stats.grants,
             });
         }
     }
@@ -701,6 +724,7 @@ mod tests {
             batch_closed_flush: 0,
             batch_occupancy: 0.0,
             ack_window_free: 64,
+            ack_window_grants: 7,
         });
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
@@ -709,6 +733,7 @@ mod tests {
         assert!(lines[0].contains("\"TryIssue\":2"));
         assert!(lines[1].contains("\"send_weight\":null"));
         assert!(lines[1].contains("\"send_alloc\":{\"gpu2\":9}"));
+        assert!(lines[1].contains("\"ack_window_grants\":7"));
         assert!(lines[2].contains("\"event\":\"batch_close\""));
         assert!(lines[2].contains("\"full\":false"));
         // No line may contain a bare NaN/inf token.
@@ -733,6 +758,7 @@ mod tests {
                 batch_closed_flush: 0,
                 batch_occupancy: 0.0,
                 ack_window_free: 0,
+                ack_window_grants: 0,
             });
         }
         let s = t.summary();

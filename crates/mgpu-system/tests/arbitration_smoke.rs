@@ -1,0 +1,60 @@
+//! Arbitration smoke matrix: one switch cell under both arbitration
+//! policies.
+//!
+//! * The default policy ([`ArbitrationKind::RoundRobin`]) must reproduce
+//!   the pre-refactor golden digest of this cell bit for bit — the
+//!   pluggable-arbitration seam is not allowed to perturb the service
+//!   order the bespoke FIFO code produced. The constants below were
+//!   captured from the tree immediately before arbitration became
+//!   configurable; if this test fails, fix the code, do not re-capture
+//!   them.
+//! * [`ArbitrationKind::FixedPriority`] legitimately reorders parked
+//!   block deferrals (oldest request index first), so it has no pinned
+//!   digest — instead it must be deterministic (two runs, identical
+//!   `Debug` rendering) and complete the same workload.
+
+use mgpu_system::runner::configs;
+use mgpu_system::Simulation;
+use mgpu_types::{ArbitrationKind, SystemConfig, TopologyKind};
+use mgpu_workloads::Benchmark;
+
+/// The smoke cell: the paper-parameter 8-GPU system on a radix-4 switch
+/// fabric under the batching scheme — the shape that exercises switch
+/// egress arbitration and ACK-window deferral hardest.
+fn switch_cell(arbitration: ArbitrationKind) -> SystemConfig {
+    let mut base = SystemConfig::paper_8gpu().with_topology(TopologyKind::Switch { radix: 4 });
+    base.flow.arbitration = arbitration;
+    configs::batching(&base, 4)
+}
+
+#[test]
+fn round_robin_default_reproduces_pre_refactor_golden_digest() {
+    let cfg = switch_cell(ArbitrationKind::default());
+    assert_eq!(cfg.flow.arbitration, ArbitrationKind::RoundRobin);
+    let report = Simulation::new(cfg, Benchmark::MatrixTranspose, 42).run_for_requests(150);
+    assert_eq!(report.total_cycles.as_u64(), 4260, "cycle drift");
+    assert_eq!(report.traffic.total().as_u64(), 378_029, "wire-byte drift");
+    assert_eq!(report.blocks, 1326, "block-count drift");
+    assert_eq!(report.acks_sent, 103, "ACK-count drift");
+}
+
+#[test]
+fn fixed_priority_cell_is_deterministic_and_completes() {
+    let run = || {
+        Simulation::new(
+            switch_cell(ArbitrationKind::FixedPriority),
+            Benchmark::MatrixTranspose,
+            42,
+        )
+        .run_for_requests(150)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "fixed-priority arbitration must be deterministic"
+    );
+    assert_eq!(a.blocks, 1326, "same workload, same block count");
+    assert!(a.total_cycles.as_u64() > 0);
+}
