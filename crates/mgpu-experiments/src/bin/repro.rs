@@ -12,7 +12,10 @@
 //! run ids, the record also carries an `observability` block with the
 //! timeline's summary percentiles; when the `serving` experiment is among
 //! them, a `serving` block records each cell's tail-latency percentiles
-//! and SLO-violation rate. Every record carries an `engine` block
+//! and SLO-violation rate; when the `leakage` experiment is among them,
+//! a `leakage` block records the passive-observer frontier (classifier
+//! accuracy, phase recovery, and defense overheads per variant). Every
+//! record carries an `engine` block
 //! (events/sec over a fixed, never-cached calibration cell) so raw engine
 //! throughput is tracked alongside suite wall-clock. Emitting a record
 //! from a dirty tree prints a loud warning: its timings are not
@@ -20,8 +23,9 @@
 //! in `EXPERIMENTS.md`.
 
 use mgpu_experiments::common::cache_counters;
+use mgpu_experiments::leakage::LeakageSummary;
 use mgpu_experiments::serving::ServingSummary;
-use mgpu_experiments::{find, registry, serving, timeline, Mode};
+use mgpu_experiments::{find, leakage, registry, serving, timeline, Mode};
 use mgpu_system::runner::configs;
 use mgpu_system::timeseries::TimelineSummary;
 use mgpu_system::Simulation;
@@ -197,6 +201,15 @@ fn json_opt_bool(x: Option<bool>) -> String {
     x.map_or_else(|| "null".to_string(), |b| b.to_string())
 }
 
+/// Optional per-experiment summary blocks: each is present in the record
+/// only when the corresponding experiment was part of the run.
+#[derive(Default)]
+struct SummaryBlocks {
+    observability: Option<TimelineSummary>,
+    serving: Option<ServingSummary>,
+    leakage: Option<LeakageSummary>,
+}
+
 /// Renders the benchmark record. Hand-rolled JSON: the schema is a handful
 /// of keys and a flat array, not worth a serializer dependency. Documented
 /// in `EXPERIMENTS.md`.
@@ -204,8 +217,7 @@ fn bench_json(
     mode: Mode,
     timings: &[Timing],
     total_seconds: f64,
-    observability: Option<&TimelineSummary>,
-    serving: Option<&ServingSummary>,
+    summaries: &SummaryBlocks,
     engine: &EngineThroughput,
     shard_scaling: &ShardScaling,
 ) -> String {
@@ -250,11 +262,12 @@ fn bench_json(
         shard_scaling.host_cores,
         shard_scaling.events_processed,
     ));
-    if let Some(s) = observability {
+    if let Some(s) = &summaries.observability {
         out.push_str(&format!(
             "  \"observability\": {{\"intervals\": {}, \"trace_events\": {}, \
              \"events_dropped\": {}, \"hit_rate_p50\": {}, \"hit_rate_p90\": {}, \
-             \"queue_depth_p50\": {}, \"queue_depth_p90\": {}}},\n",
+             \"queue_depth_p50\": {}, \"queue_depth_p90\": {}, \
+             \"busy_horizon_p50\": {}, \"busy_horizon_p90\": {}}},\n",
             s.intervals,
             s.trace_events,
             s.events_dropped,
@@ -262,9 +275,11 @@ fn bench_json(
             json_opt(s.hit_rate_p90),
             json_opt(s.queue_depth_p50),
             json_opt(s.queue_depth_p90),
+            json_opt(s.busy_horizon_p50),
+            json_opt(s.busy_horizon_p90),
         ));
     }
-    if let Some(s) = serving {
+    if let Some(s) = &summaries.serving {
         let cells = s
             .cells
             .iter()
@@ -288,6 +303,36 @@ fn bench_json(
         out.push_str(&format!(
             "  \"serving\": {{\"requests_per_gpu\": {}, \"cells\": [{cells}]}},\n",
             s.requests_per_gpu,
+        ));
+    }
+    if let Some(s) = &summaries.leakage {
+        let cells = s
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"defense\": \"{}\", \"acc_ctrl\": {}, \"acc_full\": {}, \
+                     \"phase_lock\": {}, \"phase_err\": {}, \"chaff_fraction\": {}, \
+                     \"traffic_overhead\": {}, \"latency_overhead\": {}}}",
+                    json_escape(&c.defense),
+                    json_opt(Some(c.acc_ctrl)),
+                    json_opt(Some(c.acc_full)),
+                    json_opt(c.phase_lock),
+                    json_opt(c.phase_err),
+                    json_opt(Some(c.chaff_fraction)),
+                    json_opt(Some(c.traffic_overhead)),
+                    json_opt(Some(c.latency_overhead)),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "  \"leakage\": {{\"requests_per_gpu\": {}, \"classes\": {}, \
+             \"chance\": {}, \"test_runs\": {}, \"cells\": [{cells}]}},\n",
+            s.requests_per_gpu,
+            s.classes,
+            json_opt(Some(s.chance())),
+            s.test_runs,
         ));
     }
     out.push_str("  \"experiments\": [\n");
@@ -386,16 +431,22 @@ fn main() -> ExitCode {
     // The timeline run is cheap and deterministic; fold its summary
     // percentiles into the record whenever the experiment was part of the
     // suite.
-    let observability = ids
-        .iter()
-        .any(|id| id == "timeline")
-        .then(|| timeline::summary(mode));
-    // Likewise for the serving sweep: its cells re-run here (serving runs
-    // bypass the cell cache), but the sweep is small and deterministic.
-    let serving_summary = ids
-        .iter()
-        .any(|id| id == "serving")
-        .then(|| serving::summary(mode));
+    let summaries = SummaryBlocks {
+        observability: ids
+            .iter()
+            .any(|id| id == "timeline")
+            .then(|| timeline::summary(mode)),
+        // The serving and leakage sweeps re-run here (their seeded cells
+        // bypass the cell cache), but both are small and deterministic.
+        serving: ids
+            .iter()
+            .any(|id| id == "serving")
+            .then(|| serving::summary(mode)),
+        leakage: ids
+            .iter()
+            .any(|id| id == "leakage")
+            .then(|| leakage::summary(mode)),
+    };
     let engine = measure_engine_throughput();
     eprintln!(
         "engine throughput: {:.0} events/sec ({} events in {:.3}s)",
@@ -416,8 +467,7 @@ fn main() -> ExitCode {
         mode,
         &timings,
         total_seconds,
-        observability.as_ref(),
-        serving_summary.as_ref(),
+        &summaries,
         &engine,
         &shard_scaling,
     );

@@ -19,6 +19,7 @@
 pub mod attack;
 pub mod common;
 pub mod evaluation;
+pub mod leakage;
 pub mod motivation;
 pub mod report;
 pub mod serving;
@@ -175,6 +176,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "serving",
             title: "Serving: open-loop tail latency under SLOs",
             run: serving::serving,
+        },
+        Experiment {
+            id: "leakage",
+            title: "Leakage: passive observer vs traffic-shape defenses",
+            run: leakage::leakage,
         },
     ]
 }

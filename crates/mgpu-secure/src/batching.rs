@@ -87,6 +87,44 @@ pub struct DeadlineClose {
     pub slack: Duration,
 }
 
+/// Batch-close jitter policy (passive-observer defense): every batch's
+/// flush deadline is pushed *later* by a deterministic pseudo-random
+/// offset in `[0, bound)`, derived from `seed`, the destination and the
+/// batch id. A co-located observer timing MAC-trailer emissions then sees
+/// a decorrelated close cadence instead of the fixed `flush_timeout`
+/// period, at the cost of up to `bound` extra cycles of metadata latency
+/// per flushed batch. Size-triggered closes are untouched — only the
+/// timeout path is jittered, since only its periodicity leaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloseJitter {
+    /// Exclusive upper bound on the deadline offset.
+    pub bound: Duration,
+    /// Seed of the deterministic offset sequence.
+    pub seed: u64,
+}
+
+impl CloseJitter {
+    /// The offset applied to the batch `(dst, id)`'s flush deadline:
+    /// a SplitMix64 hash of the seed and the batch's stream position,
+    /// reduced into `[0, bound)`. Pure, so the sharded engine computes
+    /// the identical offset without shared state.
+    #[must_use]
+    pub fn offset(&self, dst: NodeId, id: BatchId) -> Duration {
+        let bound = self.bound.as_u64();
+        if bound == 0 {
+            return Duration::ZERO;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(dst.raw()) << 32)
+            .wrapping_add(id)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Duration::cycles((z ^ (z >> 31)) % bound)
+    }
+}
+
 /// Sender-side batch assembly: groups outgoing blocks per destination.
 ///
 /// A batch closes when it reaches `batch_size` blocks, or — so trickle
@@ -115,6 +153,7 @@ pub struct SenderBatcher {
     batch_size: u32,
     flush_timeout: Duration,
     deadline: Option<DeadlineClose>,
+    jitter: Option<CloseJitter>,
     open: DenseNodeMap<OpenBatch>,
     next_id: DenseNodeMap<BatchId>,
     /// Per-destination EWMA of inter-block gaps (cycles) and the last add
@@ -146,6 +185,7 @@ impl SenderBatcher {
             batch_size,
             flush_timeout,
             deadline: None,
+            jitter: None,
             open: DenseNodeMap::new(),
             next_id: DenseNodeMap::new(),
             gap_ewma: DenseNodeMap::new(),
@@ -164,6 +204,14 @@ impl SenderBatcher {
         self
     }
 
+    /// Enables batch-close jitter: each batch's flush deadline is offset
+    /// by a seeded pseudo-random amount in `[0, bound)`.
+    #[must_use]
+    pub fn with_close_jitter(mut self, bound: Duration, seed: u64) -> Self {
+        self.jitter = Some(CloseJitter { bound, seed });
+        self
+    }
+
     fn take_id(&mut self, dst: NodeId) -> BatchId {
         let id = self.next_id.get_or_insert_with(dst, || 0);
         let out = *id;
@@ -171,18 +219,24 @@ impl SenderBatcher {
         out
     }
 
-    /// The flush deadline of an open batch toward `dst` that was opened at
+    /// The flush deadline of batch `id` toward `dst` that was opened at
     /// `opened_at` and currently holds `len` blocks.
-    fn flush_deadline(&self, dst: NodeId, opened_at: Cycle, len: u32) -> Cycle {
+    fn flush_deadline(&self, dst: NodeId, id: BatchId, opened_at: Cycle, len: u32) -> Cycle {
         let fixed = opened_at + self.flush_timeout;
-        let Some(policy) = self.deadline else {
-            return fixed;
+        let base = match self.deadline {
+            None => fixed,
+            Some(policy) => {
+                let gap = self.gap_ewma.get(dst).copied().unwrap_or(0.0);
+                let missing = f64::from(self.batch_size.saturating_sub(len));
+                let remaining = (missing * gap).round() as u64;
+                let budget = policy.slack.as_u64().saturating_sub(remaining);
+                fixed.min(opened_at + Duration::cycles(budget))
+            }
         };
-        let gap = self.gap_ewma.get(dst).copied().unwrap_or(0.0);
-        let missing = f64::from(self.batch_size.saturating_sub(len));
-        let remaining = (missing * gap).round() as u64;
-        let budget = policy.slack.as_u64().saturating_sub(remaining);
-        fixed.min(opened_at + Duration::cycles(budget))
+        match self.jitter {
+            Some(j) => base + j.offset(dst, id),
+            None => base,
+        }
     }
 
     /// Adds one outgoing block (already MACed) for `dst`; returns the
@@ -200,7 +254,7 @@ impl SenderBatcher {
         }
         if !self.open.contains_key(dst) {
             let id = self.take_id(dst);
-            let flush_at = self.flush_deadline(dst, now, 0);
+            let flush_at = self.flush_deadline(dst, id, now, 0);
             self.open.insert(
                 dst,
                 OpenBatch {
@@ -225,8 +279,8 @@ impl SenderBatcher {
             if self.deadline.is_some() {
                 // Re-estimate: both the gap EWMA and the missing-block
                 // count moved, so the adaptive deadline moves too.
-                let (opened_at, len) = (batch.opened_at, batch.macs.len() as u32);
-                let flush_at = self.flush_deadline(dst, opened_at, len);
+                let (id, opened_at, len) = (batch.id, batch.opened_at, batch.macs.len() as u32);
+                let flush_at = self.flush_deadline(dst, id, opened_at, len);
                 self.open.get_mut(dst).expect("present").flush_at = flush_at;
             }
             None
@@ -718,6 +772,54 @@ mod tests {
         assert_eq!(b.next_deadline(), Some(Cycle::new(170)));
         assert!(b.flush_due(Cycle::new(169)).is_empty());
         assert_eq!(b.flush_due(Cycle::new(170)).len(), 1);
+    }
+
+    #[test]
+    fn close_jitter_offsets_are_bounded_deterministic_and_varying() {
+        let j = CloseJitter {
+            bound: Duration::cycles(64),
+            seed: 7,
+        };
+        let dst = NodeId::gpu(2);
+        let offsets: Vec<u64> = (0..32).map(|id| j.offset(dst, id).as_u64()).collect();
+        assert!(offsets.iter().all(|&o| o < 64), "offset escaped the bound");
+        // Deterministic: the same (dst, id) always maps to the same offset.
+        assert_eq!(j.offset(dst, 5), j.offset(dst, 5));
+        // Varying: consecutive batches must not share one offset (which
+        // would just shift, not break, the observable period).
+        assert!(
+            offsets.windows(2).any(|w| w[0] != w[1]),
+            "offsets constant across batch ids: {offsets:?}"
+        );
+        // Distinct destinations draw from distinct subsequences.
+        assert_ne!(
+            (0..32)
+                .map(|id| j.offset(NodeId::gpu(3), id).as_u64())
+                .collect::<Vec<_>>(),
+            offsets
+        );
+    }
+
+    #[test]
+    fn jittered_deadline_shifts_within_bound_and_keeps_size_closes() {
+        let dst = NodeId::gpu(2);
+        let mut plain = SenderBatcher::new(4, Duration::cycles(160));
+        let mut jittered =
+            SenderBatcher::new(4, Duration::cycles(160)).with_close_jitter(Duration::cycles(64), 7);
+        plain.add_block(Cycle::new(10), dst, [1; 8]);
+        jittered.add_block(Cycle::new(10), dst, [1; 8]);
+        let base = plain.next_deadline().unwrap();
+        let moved = jittered.next_deadline().unwrap();
+        assert!(
+            moved >= base && moved < base + Duration::cycles(64),
+            "jittered deadline {moved} outside [{base}, {base}+64)"
+        );
+        // Size-triggered closes are untouched by the jitter policy.
+        for i in 2..=4u8 {
+            let closed = jittered.add_block(Cycle::new(11), dst, [i; 8]);
+            assert_eq!(closed.is_some(), i == 4);
+        }
+        assert_eq!(jittered.closed_full(), 1);
     }
 
     #[test]

@@ -34,17 +34,23 @@ pub enum TrafficClass {
     Ack,
     /// Batch framing (the 1 B length header of the batching scheme).
     BatchHeader,
+    /// Constant-rate shaping padding on the ctrl VC (the passive-observer
+    /// defense). Never emitted unless `DefenseConfig::constant_rate` is
+    /// on; accounted separately so the defense's bandwidth overhead is
+    /// directly measurable.
+    Chaff,
 }
 
 impl TrafficClass {
     /// All categories, for iteration in reports.
-    pub const ALL: [TrafficClass; 6] = [
+    pub const ALL: [TrafficClass; 7] = [
         TrafficClass::Data,
         TrafficClass::Counter,
         TrafficClass::Mac,
         TrafficClass::SenderId,
         TrafficClass::Ack,
         TrafficClass::BatchHeader,
+        TrafficClass::Chaff,
     ];
 
     /// Whether this category is security metadata (everything but data).
@@ -143,7 +149,7 @@ impl std::ops::Deref for WireParts {
 /// Per-class byte counters accumulated by a link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficTotals {
-    counts: [u64; 6],
+    counts: [u64; 7],
 }
 
 impl TrafficTotals {

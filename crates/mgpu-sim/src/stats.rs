@@ -233,6 +233,41 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
+/// The `p`-th percentile of **already-sorted** `samples` — same
+/// interpolation as [`percentile`], without the per-call clone, sort, and
+/// NaN scan. For hot summary paths whose sample vectors are sorted once at
+/// collection time (e.g. `LatencyReport::finish`); sortedness is checked
+/// in debug builds only.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu_sim::stats::percentile_sorted;
+///
+/// assert_eq!(percentile_sorted(&[1.0, 2.0, 3.0], 50.0), Some(2.0));
+/// assert!(percentile_sorted(&[], 50.0).is_none());
+/// ```
+#[must_use]
+pub fn percentile_sorted(samples: &[f64], p: f64) -> Option<f64> {
+    debug_assert!(
+        samples.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "percentile_sorted requires ascending samples"
+    );
+    // In `total_cmp` order every NaN sorts to an end (negative-bit NaNs
+    // first, positive-bit NaNs last), so checking the two ends replaces
+    // the full O(n) scan the unsorted variant needs.
+    let (first, last) = (samples.first(), samples.last());
+    if first.is_none_or(|s| s.is_nan()) || last.is_some_and(|s| s.is_nan()) {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (samples.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(samples[lo] + (samples[hi] - samples[lo]) * frac)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +367,18 @@ mod tests {
         assert_eq!(percentile(&s, 50.0), Some(25.0));
         assert_eq!(percentile(&[7.0], 90.0), Some(7.0));
         assert!(percentile(&[1.0, f64::NAN], 50.0).is_none());
+    }
+
+    #[test]
+    fn percentile_sorted_matches_unsorted_variant() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        for p in [0.0, 25.0, 50.0, 90.0, 100.0] {
+            assert_eq!(percentile_sorted(&s, p), percentile(&s, p));
+        }
+        assert_eq!(percentile_sorted(&[7.0], 90.0), Some(7.0));
+        assert!(percentile_sorted(&[], 50.0).is_none());
+        // NaNs sort to the ends under total_cmp; both are rejected.
+        assert!(percentile_sorted(&[1.0, 2.0, f64::NAN], 50.0).is_none());
+        assert!(percentile_sorted(&[-f64::NAN, 1.0, 2.0], 50.0).is_none());
     }
 }

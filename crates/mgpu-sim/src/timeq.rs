@@ -170,6 +170,10 @@ pub struct TimedServer {
     link: Link,
     vcs: [VcState; Vc::COUNT],
     serial: u64,
+    /// Bytes served per VC (granted service only; `occupy` accounts no
+    /// bytes, background charges are class- not VC-attributed). This is
+    /// the per-channel byte counter a co-located observer can read.
+    vc_bytes: [u64; Vc::COUNT],
 }
 
 impl TimedServer {
@@ -190,6 +194,7 @@ impl TimedServer {
             link: Link::new(bytes_per_cycle, latency),
             vcs,
             serial: 0,
+            vc_bytes: [0; Vc::COUNT],
         }
     }
 
@@ -228,6 +233,7 @@ impl TimedServer {
         }
         let done = self.link.transmit_parts(now, parts);
         self.vcs[vc.index()].grant(done);
+        self.vc_bytes[vc.index()] += parts.iter().map(|(b, _)| b.as_u64()).sum::<u64>();
         self.serial += 1;
         Ok(Ticket {
             done,
@@ -264,6 +270,7 @@ impl TimedServer {
         }
         let done = self.link.transmit_parts(start.max(now), parts);
         self.vcs[vc.index()].grant(done);
+        self.vc_bytes[vc.index()] += parts.iter().map(|(b, _)| b.as_u64()).sum::<u64>();
         self.serial += 1;
         Ticket {
             done,
@@ -314,6 +321,13 @@ impl TimedServer {
     #[must_use]
     pub fn grants(&self, vc: Vc) -> u64 {
         self.vcs[vc.index()].grants
+    }
+
+    /// Bytes served on `vc` so far (granted service only; background
+    /// charges are excluded — they are class-, not VC-attributed).
+    #[must_use]
+    pub fn vc_bytes(&self, vc: Vc) -> u64 {
+        self.vc_bytes[vc.index()]
     }
 
     /// Requests rejected with [`Busy`] on `vc` so far.
@@ -509,6 +523,30 @@ mod tests {
             assert_eq!(srv.credits_issued(vc), srv.grants(vc));
             assert_eq!(srv.occupancy(vc, last), 0);
         }
+    }
+
+    #[test]
+    fn vc_bytes_split_by_channel_and_exclude_background() {
+        let mut srv = TimedServer::unbounded(50, Duration::cycles(100));
+        srv.serve(Vc::Data, Cycle::ZERO, ByteSize::new(64), TrafficClass::Data)
+            .unwrap();
+        srv.serve_parts_blocking(
+            Vc::Ctrl,
+            Cycle::ZERO,
+            &[
+                (ByteSize::new(8), TrafficClass::Mac),
+                (ByteSize::new(4), TrafficClass::Ack),
+            ],
+        );
+        // Background charges are class-attributed but belong to no VC.
+        srv.charge_background(ByteSize::new(16), TrafficClass::Ack);
+        assert_eq!(srv.vc_bytes(Vc::Data), 64);
+        assert_eq!(srv.vc_bytes(Vc::Ctrl), 12);
+        // Occupancy-only service books the server but moves no bytes.
+        srv.occupy(Vc::Data, Cycle::new(500), ByteSize::new(64))
+            .unwrap();
+        assert_eq!(srv.vc_bytes(Vc::Data), 64);
+        assert_eq!(srv.totals().total().as_u64(), 92);
     }
 
     #[test]

@@ -494,6 +494,32 @@ impl Topology {
             .enumerate()
             .map(|(s, srv)| (s as u16, srv))
     }
+
+    /// Control-VC bytes granted so far on pairs leaving `src`, summed
+    /// over every peer. All of a node's control messages share its
+    /// physical port even though they ride per-pair VCs, so this sum is
+    /// the byte counter a tap co-located on that port would read
+    /// (chaff included — shaping padding is indistinguishable on the
+    /// wire).
+    #[must_use]
+    pub fn ctrl_bytes_from(&self, src: NodeId) -> u64 {
+        self.ctrl
+            .iter()
+            .filter(|(pair, _)| pair.src == src)
+            .map(|(_, vc)| vc.vc_bytes(Vc::Ctrl))
+            .sum()
+    }
+
+    /// Control-VC grants issued so far on pairs leaving `src` — the
+    /// count of serviced control messages visible at the node's port.
+    #[must_use]
+    pub fn ctrl_grants_from(&self, src: NodeId) -> u64 {
+        self.ctrl
+            .iter()
+            .filter(|(pair, _)| pair.src == src)
+            .map(|(_, vc)| vc.grants(Vc::Ctrl))
+            .sum()
+    }
 }
 
 #[cfg(test)]

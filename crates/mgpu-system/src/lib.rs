@@ -34,6 +34,7 @@ pub mod harness;
 pub mod metrics;
 pub mod nic_pool;
 pub mod node;
+pub mod observer;
 pub mod pacing;
 pub mod runner;
 mod sharded;
@@ -44,6 +45,10 @@ pub use fabric::Fabric;
 pub use flow::{CreditGate, CreditPool, Reject, WakeupLadder};
 pub use harness::WireHarness;
 pub use metrics::{LatencyReport, RunReport};
+pub use observer::{
+    circular_error, close_phase, FeatureSet, FeatureVector, NearestCentroid, PassiveObserver,
+    PhaseEstimate,
+};
 pub use runner::{compare_schemes, compare_schemes_with, normalized_time, SchemeResult};
 pub use simulation::{default_shards, set_default_shards, Simulation};
 pub use timeseries::{

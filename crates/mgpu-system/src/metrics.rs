@@ -4,7 +4,7 @@ use crate::timeseries::Timeline;
 use mgpu_secure::adversary::SecurityEventLog;
 use mgpu_secure::OtpStats;
 use mgpu_sim::link::TrafficTotals;
-use mgpu_sim::stats::percentile;
+use mgpu_sim::stats::percentile_sorted;
 use mgpu_types::{Cycle, Duration, OtpSchemeKind};
 use mgpu_workloads::Benchmark;
 
@@ -74,16 +74,17 @@ impl LatencyReport {
     }
 
     /// The `p`-th percentile (0–100) of total latency; `None` when no
-    /// requests completed.
+    /// requests completed. The samples are sorted by
+    /// [`LatencyReport::finish`], so this is O(1) per call.
     #[must_use]
     pub fn total_percentile(&self, p: f64) -> Option<f64> {
-        percentile(&self.total, p)
+        percentile_sorted(&self.total, p)
     }
 
     /// The `p`-th percentile (0–100) of first-byte latency.
     #[must_use]
     pub fn first_byte_percentile(&self, p: f64) -> Option<f64> {
-        percentile(&self.first_byte, p)
+        percentile_sorted(&self.first_byte, p)
     }
 
     /// Mean total latency in cycles; zero when empty.

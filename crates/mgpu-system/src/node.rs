@@ -65,6 +65,13 @@ impl SecureNic {
         if b.deadline_close {
             batcher = batcher.with_deadline_close(b.deadline_slack);
         }
+        let d = &config.security.defense;
+        if d.close_jitter {
+            // Each sender draws from its own jitter subsequence so an
+            // observer cannot cancel the offsets across ports.
+            let seed = d.jitter_seed.wrapping_add(u64::from(me.raw()) << 16);
+            batcher = batcher.with_close_jitter(d.jitter_bound, seed);
+        }
         SecureNic {
             engine,
             scheme,

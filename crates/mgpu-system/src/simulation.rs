@@ -133,6 +133,11 @@ enum Ev {
     FlushCheck(NodeId),
     /// A flushed batch's trailer arrived: the receiver ACKs it.
     TrailerAck { receiver: NodeId, owner: NodeId },
+    /// Constant-rate shaping tick: top every control VC up to the shaped
+    /// byte quota with chaff so a port observer sees the same control
+    /// traffic regardless of the protected workload. Scheduled only when
+    /// `config.security.defense.constant_rate`.
+    ChaffTick,
     /// Observability boundary: sample the system state. Books no
     /// resources and never affects timing; scheduled only when
     /// `config.observability.enabled`.
@@ -153,6 +158,7 @@ impl Ev {
             Ev::AckArrive(_) => "AckArrive",
             Ev::FlushCheck(_) => "FlushCheck",
             Ev::TrailerAck { .. } => "TrailerAck",
+            Ev::ChaffTick => "ChaffTick",
             Ev::Sample => "Sample",
         }
     }
@@ -273,6 +279,8 @@ impl Simulation {
     ///
     /// * adversarial runs — the wire harness is a single functional
     ///   pipeline that must observe crossings in global order;
+    /// * constant-rate traffic shaping — each tick tops up every pair's
+    ///   control VC from a global byte-counter view;
     /// * observability intervals shorter than the lookahead — a sample
     ///   replica is re-armed one window late, so boundaries must be at
     ///   least one lookahead apart;
@@ -282,6 +290,12 @@ impl Simulation {
         let nodes = u16::try_from(self.config.node_count()).unwrap_or(u16::MAX);
         let mut shards = requested.min(nodes);
         if self.secure() && self.config.adversary.enabled {
+            shards = 1;
+        }
+        // Constant-rate shaping reads every pair's control-VC counter at
+        // each tick — a global view the per-shard fabric replicas do not
+        // have (jitter needs no such view and shards freely).
+        if self.secure() && self.config.security.defense.constant_rate {
             shards = 1;
         }
         if self.secure()
@@ -338,8 +352,21 @@ impl Simulation {
         let sample_every = cfg.security.dynamic.interval;
         let mut collector = (self.secure() && cfg.observability.enabled)
             .then(|| TimeSeriesCollector::new(&cfg.observability, sample_every));
+        let mut sample_pending = false;
         if collector.is_some() && !events.is_empty() {
             events.schedule(Cycle::ZERO + sample_every, Ev::Sample);
+            sample_pending = true;
+        }
+
+        // Constant-rate traffic shaping: a periodic tick pads every
+        // control VC up to the per-period byte envelope with chaff, so
+        // the control traffic a port observer sees is workload- and
+        // scheme-independent (as long as the envelope bounds the real
+        // metadata rate).
+        let shaping = self.secure() && cfg.security.defense.constant_rate;
+        let shape_period = cfg.security.defense.shape_period;
+        if shaping && !events.is_empty() {
+            events.schedule(Cycle::ZERO + shape_period, Ev::ChaffTick);
         }
 
         let mut pending: Vec<Pending> = Vec::new();
@@ -647,7 +674,18 @@ impl Simulation {
                         events.schedule(now + cfg.link_latency, Ev::AckArrive(owner));
                     }
                 }
+                Ev::ChaffTick => {
+                    shape_topup(&mut fabric, cfg, now);
+                    // Keep shaping while real work remains. A queue
+                    // holding only the Sample chain means the run is
+                    // over — rescheduling then would keep the two
+                    // housekeeping chains alive forever.
+                    if events.len() > usize::from(sample_pending) {
+                        events.schedule(now + shape_period, Ev::ChaffTick);
+                    }
+                }
                 Ev::Sample => {
+                    sample_pending = false;
                     let col = collector
                         .as_mut()
                         .expect("Sample only scheduled with collector");
@@ -655,6 +693,13 @@ impl Simulation {
                     // sample reflects the boundary allocation (timing-
                     // equivalent to the lazy path — see `timeseries`).
                     pool.advance_all(now);
+                    if shaping {
+                        // Top up at the boundary too: the quota-based
+                        // top-up is idempotent, so whichever of the tick
+                        // and the sample pops first at a shared cycle,
+                        // the sample sees fully shaped counters.
+                        shape_topup(&mut fabric, cfg, now);
+                    }
                     if let Some(h) = harness.as_mut() {
                         for ev in h.take_trace() {
                             col.record_security_event(&ev);
@@ -665,6 +710,7 @@ impl Simulation {
                     // Sample is never the only event left in the queue.
                     if !events.is_empty() {
                         events.schedule(now + sample_every, Ev::Sample);
+                        sample_pending = true;
                     }
                 }
             }
@@ -721,6 +767,57 @@ impl Simulation {
             security: harness.map(WireHarness::into_log).unwrap_or_default(),
             timeline: collector.map(TimeSeriesCollector::finish),
             events_processed,
+        }
+    }
+}
+
+/// Tops every control VC up to the constant-rate quota with chaff: by
+/// cycle `k * shape_period`, each directed pair must have carried at
+/// least `k * shape_bytes` *and taken at least `k * shape_grants`
+/// arbitration grants* on its control VC. Byte counts alone do not
+/// close the channel — a co-located observer also sees how many
+/// arbitration slots the VC takes, so the deficit is padded as exactly
+/// `grant_deficit` chaff messages (each >= 1 byte, the last carrying
+/// the byte remainder). Real metadata counts toward both quotas; per
+/// period the on-wire channel then shows `max(shape_bytes, real)` bytes
+/// in `max(shape_grants, real)` grants — constant, hence
+/// workload-independent, whenever the envelope bounds both real rates.
+/// Quota-based and read from the VC's own counters, the top-up is
+/// idempotent: re-running it at the same cycle books nothing.
+///
+/// When real traffic exceeds one arm of the envelope (grants at quota
+/// but bytes below, or a byte deficit smaller than the grant deficit),
+/// the top-up pads as much as it can without overshooting the other
+/// arm; identity degrades gracefully and the run is no longer
+/// workload-independent — pick a generous envelope.
+fn shape_topup(fabric: &mut Fabric, cfg: &SystemConfig, now: Cycle) {
+    let d = &cfg.security.defense;
+    let periods = now.as_u64() / d.shape_period.as_u64();
+    let byte_quota = u64::from(d.shape_bytes) * periods;
+    let grant_quota = u64::from(d.shape_grants) * periods;
+    if periods == 0 {
+        return;
+    }
+    for src in NodeId::all(cfg.gpu_count) {
+        for dst in src.peers(cfg.gpu_count) {
+            let pair = PairId::new(src, dst);
+            let vc = fabric.topology().ctrl(pair);
+            let byte_deficit = byte_quota.saturating_sub(vc.vc_bytes(mgpu_sim::Vc::Ctrl));
+            let grant_deficit = grant_quota.saturating_sub(vc.grants(mgpu_sim::Vc::Ctrl));
+            // Each chaff message needs >= 1 byte; never exceed either
+            // quota, so the message count is bounded by both deficits.
+            let messages = grant_deficit.min(byte_deficit);
+            if messages == 0 {
+                continue;
+            }
+            for i in 0..messages {
+                let bytes = if i + 1 == messages {
+                    byte_deficit - (messages - 1)
+                } else {
+                    1
+                };
+                fabric.transmit_ctrl(pair, now, &[(ByteSize::new(bytes), TrafficClass::Chaff)]);
+            }
         }
     }
 }

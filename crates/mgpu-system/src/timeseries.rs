@@ -96,9 +96,14 @@ pub struct FabricSample {
     pub port: String,
     /// Bytes that crossed the port since the previous sample.
     pub bytes_delta: u64,
-    /// Cycles until the port frees (its serialization backlog at the
-    /// boundary).
+    /// True occupancy at the boundary: grants (both VCs) whose service
+    /// had not yet completed when the sample was taken — queued entries,
+    /// not time. (This field used to carry the serialization backlog in
+    /// cycles, which now lives in [`FabricSample::busy_horizon`].)
     pub queue_depth: u64,
+    /// Cycles until the port's serializer frees (its busy-time backlog
+    /// at the boundary). The old, mislabeled `queue_depth` value.
+    pub busy_horizon: u64,
     /// Data-VC credits held at the boundary: grants whose service had
     /// not yet completed when the sample was taken.
     pub data_vc_occupancy: u64,
@@ -109,6 +114,16 @@ pub struct FabricSample {
     /// Cumulative arbitration grants the port's timed server has issued
     /// across both VCs.
     pub grants: u64,
+    /// Control-VC bytes granted on pairs leaving this port since the
+    /// previous sample. Control messages ride per-pair VCs, but they all
+    /// share the node's physical port, so this sum is what a tap on the
+    /// port observes. Node ports only; switch rows read 0 (control VCs
+    /// are end-to-end). Chaff padding is included — on the wire it is
+    /// indistinguishable from real metadata.
+    pub ctrl_bytes_delta: u64,
+    /// Cumulative control-VC grants on pairs leaving this port (node
+    /// ports only; switch rows read 0).
+    pub ctrl_grants: u64,
 }
 
 /// A discrete protocol event captured in the bounded trace.
@@ -170,10 +185,16 @@ pub struct TimelineSummary {
     pub hit_rate_p50: Option<f64>,
     /// 90th-percentile per-interval OTP hit rate.
     pub hit_rate_p90: Option<f64>,
-    /// Median fabric-port queue depth at boundaries (cycles).
+    /// Median fabric-port queue depth at boundaries (pending entries).
     pub queue_depth_p50: Option<f64>,
-    /// 90th-percentile fabric-port queue depth at boundaries (cycles).
+    /// 90th-percentile fabric-port queue depth at boundaries (pending
+    /// entries).
     pub queue_depth_p90: Option<f64>,
+    /// Median fabric-port busy horizon at boundaries (cycles until the
+    /// serializer frees).
+    pub busy_horizon_p50: Option<f64>,
+    /// 90th-percentile fabric-port busy horizon at boundaries (cycles).
+    pub busy_horizon_p90: Option<f64>,
 }
 
 /// The finished observability record attached to a
@@ -284,14 +305,17 @@ impl Timeline {
         for f in &self.fabric {
             let _ = writeln!(
                 out,
-                "{{\"kind\":\"fabric\",\"cycle\":{},\"port\":\"{}\",\"bytes_delta\":{},\"queue_depth\":{},\"data_vc_occupancy\":{},\"ctrl_vc_occupancy\":{},\"grants\":{}}}",
+                "{{\"kind\":\"fabric\",\"cycle\":{},\"port\":\"{}\",\"bytes_delta\":{},\"queue_depth\":{},\"busy_horizon\":{},\"data_vc_occupancy\":{},\"ctrl_vc_occupancy\":{},\"grants\":{},\"ctrl_bytes_delta\":{},\"ctrl_grants\":{}}}",
                 f.cycle.as_u64(),
                 f.port,
                 f.bytes_delta,
                 f.queue_depth,
+                f.busy_horizon,
                 f.data_vc_occupancy,
                 f.ctrl_vc_occupancy,
                 f.grants,
+                f.ctrl_bytes_delta,
+                f.ctrl_grants,
             );
         }
         for r in &self.events {
@@ -333,6 +357,7 @@ impl Timeline {
             .filter_map(IntervalSample::hit_rate)
             .collect();
         let depths: Vec<f64> = self.fabric.iter().map(|f| f.queue_depth as f64).collect();
+        let horizons: Vec<f64> = self.fabric.iter().map(|f| f.busy_horizon as f64).collect();
         TimelineSummary {
             intervals: self.samples.len(),
             trace_events: self.events.len(),
@@ -341,6 +366,8 @@ impl Timeline {
             hit_rate_p90: percentile(&hit_rates, 90.0),
             queue_depth_p50: percentile(&depths, 50.0),
             queue_depth_p90: percentile(&depths, 90.0),
+            busy_horizon_p50: percentile(&horizons, 50.0),
+            busy_horizon_p90: percentile(&horizons, 90.0),
         }
     }
 }
@@ -366,6 +393,8 @@ pub struct TimeSeriesCollector {
     prev_rebalances: BTreeMap<NodeId, u64>,
     /// Cumulative bytes per port label at the last sample.
     prev_port_bytes: BTreeMap<String, u64>,
+    /// Cumulative control-VC bytes per port label at the last sample.
+    prev_port_ctrl_bytes: BTreeMap<String, u64>,
     /// Node-egress ports this collector samples (`None` = all). Sharded
     /// runs scope each shard's collector to its owned ports so the merged
     /// timeline has exactly one row per port per boundary.
@@ -400,6 +429,7 @@ impl TimeSeriesCollector {
             prev_batches: BTreeMap::new(),
             prev_rebalances: BTreeMap::new(),
             prev_port_bytes: BTreeMap::new(),
+            prev_port_ctrl_bytes: BTreeMap::new(),
             scope_nodes: None,
             scope_switches: None,
             trace_keys: VecDeque::new(),
@@ -545,40 +575,66 @@ impl TimeSeriesCollector {
         struct PortStats {
             bytes: u64,
             queue_depth: u64,
+            busy_horizon: u64,
             data_vc_occupancy: u64,
             ctrl_vc_occupancy: u64,
             grants: u64,
+            ctrl_bytes: u64,
+            ctrl_grants: u64,
         }
-        let port_stats = |server: &mgpu_sim::TimedServer| PortStats {
-            bytes: server.totals().total().as_u64(),
-            queue_depth: server.next_free().saturating_since(now).as_u64(),
-            data_vc_occupancy: u64::from(server.occupancy(mgpu_sim::Vc::Data, now)),
-            ctrl_vc_occupancy: u64::from(server.occupancy(mgpu_sim::Vc::Ctrl, now)),
-            grants: server.grants(mgpu_sim::Vc::Data) + server.grants(mgpu_sim::Vc::Ctrl),
+        let port_stats = |server: &mgpu_sim::TimedServer, ctrl_bytes: u64, ctrl_grants: u64| {
+            let data_occ = u64::from(server.occupancy(mgpu_sim::Vc::Data, now));
+            let ctrl_occ = u64::from(server.occupancy(mgpu_sim::Vc::Ctrl, now));
+            PortStats {
+                bytes: server.totals().total().as_u64(),
+                // Pending completions, not time: the busy-time-until-free
+                // value this field used to (mis)report is busy_horizon.
+                queue_depth: data_occ + ctrl_occ,
+                busy_horizon: server.next_free().saturating_since(now).as_u64(),
+                data_vc_occupancy: data_occ,
+                ctrl_vc_occupancy: ctrl_occ,
+                grants: server.grants(mgpu_sim::Vc::Data) + server.grants(mgpu_sim::Vc::Ctrl),
+                ctrl_bytes,
+                ctrl_grants,
+            }
         };
         let mut ports: Vec<(String, PortStats)> = topo
             .iter_egress()
             .filter(|(node, _)| in_scope(&self.scope_nodes, usize::from(node.raw())))
-            .map(|(node, server)| (node_label(node), port_stats(server)))
+            .map(|(node, server)| {
+                let stats = port_stats(
+                    server,
+                    topo.ctrl_bytes_from(node),
+                    topo.ctrl_grants_from(node),
+                );
+                (node_label(node), stats)
+            })
             .collect();
         ports.extend(
             topo.iter_switch_egress()
                 .filter(|(id, _)| in_scope(&self.scope_switches, usize::from(*id)))
-                .map(|(id, server)| (format!("switch{id}"), port_stats(server))),
+                .map(|(id, server)| (format!("switch{id}"), port_stats(server, 0, 0))),
         );
         for (port, stats) in ports {
             let prev = self
                 .prev_port_bytes
                 .insert(port.clone(), stats.bytes)
                 .unwrap_or(0);
+            let prev_ctrl = self
+                .prev_port_ctrl_bytes
+                .insert(port.clone(), stats.ctrl_bytes)
+                .unwrap_or(0);
             self.fabric.push(FabricSample {
                 cycle: now,
                 port,
                 bytes_delta: stats.bytes - prev,
                 queue_depth: stats.queue_depth,
+                busy_horizon: stats.busy_horizon,
                 data_vc_occupancy: stats.data_vc_occupancy,
                 ctrl_vc_occupancy: stats.ctrl_vc_occupancy,
                 grants: stats.grants,
+                ctrl_bytes_delta: stats.ctrl_bytes - prev_ctrl,
+                ctrl_grants: stats.ctrl_grants,
             });
         }
     }
@@ -726,16 +782,33 @@ mod tests {
             ack_window_free: 64,
             ack_window_grants: 7,
         });
+        t.fabric.push(FabricSample {
+            cycle: Cycle::new(1000),
+            port: "gpu1".to_string(),
+            bytes_delta: 512,
+            queue_depth: 2,
+            busy_horizon: 37,
+            data_vc_occupancy: 1,
+            ctrl_vc_occupancy: 1,
+            grants: 5,
+            ctrl_bytes_delta: 48,
+            ctrl_grants: 3,
+        });
         let jsonl = t.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3); // meta + interval + event
+        assert_eq!(lines.len(), 4); // meta + interval + fabric + event
         assert!(lines[0].contains("\"kind\":\"meta\""));
         assert!(lines[0].contains("\"TryIssue\":2"));
         assert!(lines[1].contains("\"send_weight\":null"));
         assert!(lines[1].contains("\"send_alloc\":{\"gpu2\":9}"));
         assert!(lines[1].contains("\"ack_window_grants\":7"));
-        assert!(lines[2].contains("\"event\":\"batch_close\""));
-        assert!(lines[2].contains("\"full\":false"));
+        assert!(lines[2].contains("\"kind\":\"fabric\""));
+        assert!(lines[2].contains("\"queue_depth\":2"));
+        assert!(lines[2].contains("\"busy_horizon\":37"));
+        assert!(lines[2].contains("\"ctrl_bytes_delta\":48"));
+        assert!(lines[2].contains("\"ctrl_grants\":3"));
+        assert!(lines[3].contains("\"event\":\"batch_close\""));
+        assert!(lines[3].contains("\"full\":false"));
         // No line may contain a bare NaN/inf token.
         assert!(!jsonl.contains("NaN") && !jsonl.contains("inf"));
     }
@@ -765,5 +838,31 @@ mod tests {
         assert_eq!(s.intervals, 3);
         assert_eq!(s.hit_rate_p50, Some(0.7));
         assert!(s.queue_depth_p50.is_none());
+        assert!(s.busy_horizon_p50.is_none());
+    }
+
+    /// `queue_depth` counts pending entries while `busy_horizon` carries
+    /// the serializer backlog in cycles — the two summaries are
+    /// independent series over the same fabric rows.
+    #[test]
+    fn summary_separates_queue_depth_from_busy_horizon() {
+        let mut t = collector(4).finish();
+        for (i, (depth, horizon)) in [(1u64, (0u64, 120u64)), (2, (2, 40)), (3, (4, 200))] {
+            t.fabric.push(FabricSample {
+                cycle: Cycle::new(i * 1000),
+                port: "gpu1".to_string(),
+                bytes_delta: 0,
+                queue_depth: depth,
+                busy_horizon: horizon,
+                data_vc_occupancy: depth,
+                ctrl_vc_occupancy: 0,
+                grants: depth,
+                ctrl_bytes_delta: 0,
+                ctrl_grants: 0,
+            });
+        }
+        let s = t.summary();
+        assert_eq!(s.queue_depth_p50, Some(2.0));
+        assert_eq!(s.busy_horizon_p50, Some(120.0));
     }
 }

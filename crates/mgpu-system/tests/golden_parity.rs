@@ -192,6 +192,40 @@ fn open_loop_serving_cell_stays_bit_for_bit() {
 /// The sharded engine is not allowed to be "close": every cell of the
 /// golden matrix must produce a [`RunReport`] whose entire `Debug`
 /// rendering — cycles, bytes, OTP stats, latencies, event counts, and
+/// The traffic-shape defenses ship default-off, and off must mean *off*:
+/// a config that spells out the default [`DefenseConfig`] (rather than
+/// omitting it) replays the golden 12-cell matrix bit for bit at every
+/// shard count. Guards against the chaff scheduling, the jittered
+/// deadline path, or the defense-driven shard clamp leaking into
+/// undefended runs.
+#[test]
+fn defenses_off_reproduce_golden_matrix_at_all_shard_counts() {
+    use mgpu_system::runner::compare_schemes_with;
+    use mgpu_types::DefenseConfig;
+
+    let mut base = SystemConfig::paper_4gpu();
+    base.security.defense = DefenseConfig::default();
+    assert!(!base.security.defense.any_enabled());
+    // shards=1: against the golden constants themselves.
+    assert_matches_golden(&base, "defenses off");
+    // shards {2, 4}: full-report parity with the single-thread engine.
+    let cfgs = scheme_matrix(&base);
+    for bench in [Benchmark::MatrixTranspose, Benchmark::Spmv] {
+        let reference = compare_schemes_with(bench, &cfgs, 200, 42, 1);
+        for shards in [2u16, 4] {
+            let sharded = compare_schemes_with(bench, &cfgs, 200, 42, shards);
+            for (single, multi) in reference.iter().zip(sharded.iter()) {
+                assert_eq!(
+                    format!("{:?}", single.report),
+                    format!("{:?}", multi.report),
+                    "defenses-off {} / {bench:?} diverges at shards={shards}",
+                    single.label,
+                );
+            }
+        }
+    }
+}
+
 /// (when enabled) the full observability timeline — is identical to the
 /// single-thread engine's, for every shard count and both observability
 /// modes. See DESIGN.md §11 for why this holds by construction.

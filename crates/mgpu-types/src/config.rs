@@ -336,6 +336,129 @@ impl BatchingConfig {
     }
 }
 
+/// Traffic-shape defenses against *passive* contention observers
+/// (co-tenants sampling shared-port queue depths, grant timing and byte
+/// counters — the NVBleed-style threat model, as opposed to the active
+/// tampering adversary of [`AdversaryConfig`]).
+///
+/// Two independent, deterministic countermeasures:
+///
+/// * **Constant-rate shaping** (`constant_rate`): every `shape_period`
+///   cycles each node pads its per-peer ctrl-VC traffic with chaff up to
+///   a `shape_bytes` envelope, so the metadata channel an observer sees
+///   carries the same byte profile regardless of scheme or workload
+///   (whenever real ctrl traffic stays under the envelope).
+/// * **Batch-close jitter** (`close_jitter`): each open metadata batch's
+///   flush deadline is perturbed by a seeded, bounded pseudo-random
+///   offset in `[0, jitter_bound)`, decorrelating the MAC-trailer cadence
+///   an observer would use to recover the victim's batch-close phase.
+///
+/// Both default **off**; the defaults reproduce the undefended golden
+/// matrix bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefenseConfig {
+    /// Whether constant-rate ctrl-VC shaping (chaff padding) is active.
+    pub constant_rate: bool,
+    /// Shaping envelope: ctrl-VC bytes per directed pair per period that
+    /// the channel is padded up to. Real traffic above the envelope is
+    /// never delayed — the defense only guarantees indistinguishability
+    /// while the envelope bounds the true ctrl rate.
+    pub shape_bytes: u32,
+    /// Shaping envelope on arbitration grants: ctrl-VC grants per
+    /// directed pair per period the channel is padded up to. Byte counts
+    /// alone are not the whole channel — a co-located observer also sees
+    /// *how many* arbitration slots the control VC takes, so chaff is
+    /// emitted as exactly the deficit number of messages. Must not
+    /// exceed `shape_bytes` (every chaff message carries >= 1 byte).
+    pub shape_grants: u32,
+    /// Shaping period in cycles (chaff cadence).
+    pub shape_period: Duration,
+    /// Whether randomized batch-close jitter is active.
+    pub close_jitter: bool,
+    /// Exclusive upper bound on the per-batch deadline perturbation.
+    pub jitter_bound: Duration,
+    /// Seed of the deterministic jitter sequence (mixed per node/batch).
+    pub jitter_seed: u64,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            constant_rate: false,
+            shape_bytes: 256,
+            shape_grants: 4,
+            shape_period: Duration::cycles(250),
+            close_jitter: false,
+            jitter_bound: Duration::cycles(64),
+            jitter_seed: 0x5EED_CAFE_D00D_F00D,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Constant-rate shaping enabled with the default envelope.
+    #[must_use]
+    pub fn constant_rate() -> Self {
+        DefenseConfig {
+            constant_rate: true,
+            ..DefenseConfig::default()
+        }
+    }
+
+    /// Batch-close jitter enabled with the default bound.
+    #[must_use]
+    pub fn jittered() -> Self {
+        DefenseConfig {
+            close_jitter: true,
+            ..DefenseConfig::default()
+        }
+    }
+
+    /// Whether any defense is active.
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.constant_rate || self.close_jitter
+    }
+
+    /// Validates the active defenses' parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when an enabled defense has a degenerate
+    /// envelope or bound.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.constant_rate {
+            if self.shape_bytes == 0 {
+                return Err(ConfigError::new(
+                    "shape_bytes must be >= 1 when constant_rate shaping is enabled",
+                ));
+            }
+            if self.shape_period == Duration::ZERO {
+                return Err(ConfigError::new(
+                    "shape_period must be non-zero when constant_rate shaping is enabled",
+                ));
+            }
+            if self.shape_grants == 0 {
+                return Err(ConfigError::new(
+                    "shape_grants must be >= 1 when constant_rate shaping is enabled",
+                ));
+            }
+            if self.shape_grants > self.shape_bytes {
+                return Err(ConfigError::new(
+                    "shape_grants must not exceed shape_bytes (each chaff \
+                     message carries at least one byte)",
+                ));
+            }
+        }
+        if self.close_jitter && self.jitter_bound == Duration::ZERO {
+            return Err(ConfigError::new(
+                "jitter_bound must be non-zero when close_jitter is enabled",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the wire-level adversary used by the fault-injection
 /// harness (threat model of paper §II-C: an attacker with physical access
 /// to the interconnect who can replay, tamper with, reorder or drop
@@ -512,6 +635,9 @@ pub struct SecurityConfig {
     pub dynamic: DynamicConfig,
     /// Metadata-batching parameters.
     pub batching: BatchingConfig,
+    /// Traffic-shape defenses against passive contention observers.
+    /// Off by default; the undefended defaults are bit-for-bit neutral.
+    pub defense: DefenseConfig,
     /// Capacity of the replay-protection table holding each outgoing
     /// message's `(MsgCTR, MsgMAC)` until its ACK returns (paper §II-C).
     /// A full table stalls further protected sends; batching consumes one
@@ -532,6 +658,7 @@ impl Default for SecurityConfig {
             aes_latency: Duration::cycles(40),
             dynamic: DynamicConfig::default(),
             batching: BatchingConfig::default(),
+            defense: DefenseConfig::default(),
             ack_table_entries: 28,
             charge_metadata_traffic: true,
         }
@@ -687,6 +814,7 @@ impl SystemConfig {
         }
         self.security.dynamic.validate()?;
         self.security.batching.validate()?;
+        self.security.defense.validate()?;
         self.adversary.validate()?;
         self.observability.validate()?;
         self.flow.validate()?;
@@ -765,6 +893,21 @@ mod tests {
         cfg.security.batching.deadline_close = true;
         cfg.security.batching.deadline_slack = Duration::ZERO;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.defense.constant_rate = true;
+        cfg.security.defense.shape_bytes = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.defense.constant_rate = true;
+        cfg.security.defense.shape_period = Duration::ZERO;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper_4gpu();
+        cfg.security.defense.close_jitter = true;
+        cfg.security.defense.jitter_bound = Duration::ZERO;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]
@@ -778,6 +921,29 @@ mod tests {
         on.security.dynamic.load_triggered = true;
         on.security.batching.deadline_close = true;
         on.validate().unwrap();
+    }
+
+    #[test]
+    fn defenses_default_off_and_constructors_validate() {
+        let cfg = SystemConfig::paper_4gpu();
+        assert!(!cfg.security.defense.constant_rate);
+        assert!(!cfg.security.defense.close_jitter);
+        assert!(!cfg.security.defense.any_enabled());
+
+        let shaped = DefenseConfig::constant_rate();
+        assert!(shaped.constant_rate && !shaped.close_jitter);
+        assert!(shaped.any_enabled());
+        shaped.validate().unwrap();
+
+        let jittered = DefenseConfig::jittered();
+        assert!(jittered.close_jitter && !jittered.constant_rate);
+        assert!(jittered.any_enabled());
+        jittered.validate().unwrap();
+
+        let mut both = SystemConfig::paper_4gpu();
+        both.security.defense.constant_rate = true;
+        both.security.defense.close_jitter = true;
+        both.validate().unwrap();
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod ids;
 pub mod units;
 
 pub use config::{
-    AdversaryConfig, ArbitrationKind, BatchingConfig, DynamicConfig, FlowControlConfig,
-    ObservabilityConfig, OtpSchemeKind, SecurityConfig, ShardConfig, SystemConfig, TopologyKind,
+    AdversaryConfig, ArbitrationKind, BatchingConfig, DefenseConfig, DynamicConfig,
+    FlowControlConfig, ObservabilityConfig, OtpSchemeKind, SecurityConfig, ShardConfig,
+    SystemConfig, TopologyKind,
 };
 pub use dense::{DenseNodeMap, PairTable};
 pub use error::{ConfigError, MgpuError};

@@ -137,6 +137,11 @@ pub struct ServingModel {
     /// Relative SLO budget added to each arrival time, or `None` for
     /// deadline-free requests.
     deadline: Option<Duration>,
+    /// Memoized Zipf CDF. The peer count `n` is fixed per model (every
+    /// requester has the same number of peers) and `s` is fixed after
+    /// construction, so the CDF is a pure function of the model — built
+    /// once on first use instead of per `generate_for` call.
+    zipf_cache: std::cell::OnceCell<Vec<f64>>,
 }
 
 impl ServingModel {
@@ -156,6 +161,7 @@ impl ServingModel {
             process,
             zipf_s: 0.0,
             deadline: None,
+            zipf_cache: std::cell::OnceCell::new(),
         }
     }
 
@@ -168,6 +174,8 @@ impl ServingModel {
     pub fn with_zipf(mut self, s: f64) -> Self {
         assert!(s >= 0.0 && s.is_finite(), "zipf s must be >= 0, got {s}");
         self.zipf_s = s;
+        // The memoized CDF is a function of `s`; invalidate it.
+        self.zipf_cache = std::cell::OnceCell::new();
         self
     }
 
@@ -207,17 +215,23 @@ impl ServingModel {
     }
 
     /// Cumulative Zipf weights over `n` ranks: `w_i ∝ (i + 1)^-s`.
-    fn zipf_cdf(&self, n: usize) -> Vec<f64> {
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += 1.0 / ((i + 1) as f64).powf(self.zipf_s);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for c in &mut cdf {
-            *c /= total;
-        }
+    /// Memoized on the model — `n` and `s` are both fixed per model, so
+    /// the vector is built exactly once across all `generate_for` calls.
+    fn zipf_cdf(&self, n: usize) -> &[f64] {
+        let cdf = self.zipf_cache.get_or_init(|| {
+            let mut cdf = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += 1.0 / ((i + 1) as f64).powf(self.zipf_s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            cdf
+        });
+        assert_eq!(cdf.len(), n, "peer count is fixed per model");
         cdf
     }
 
