@@ -1,18 +1,32 @@
-//! AES-128 block cipher, implemented from the FIPS-197 specification.
+//! AES-128 block cipher with runtime backend dispatch.
 //!
-//! Encryption uses the classic 32-bit T-table formulation: SubBytes,
-//! ShiftRows and MixColumns for one output column collapse into four table
-//! lookups and four XORs. The tables are built at compile time from the
-//! S-box, and the key schedule is expanded once in [`Aes128::new`] and
-//! reused for every block, so the per-block cost is 40 lookups per round
-//! batch instead of hundreds of byte operations. A byte-wise reference
-//! implementation is kept in the test module and checked for equivalence.
+//! Two implementations sit behind [`Aes128`], selected per instance by the
+//! [`crate::backend`] layer:
 //!
-//! This is not constant-time and is not intended for production key
-//! material — it exists so that the secure-communication protocol in this
+//! * **Software** — the classic 32-bit T-table formulation: SubBytes,
+//!   ShiftRows and MixColumns for one output column collapse into four
+//!   table lookups and four XORs. The tables are built at compile time
+//!   from the S-box, and the key schedule is expanded once in
+//!   [`Aes128::new`] and reused for every block, so the per-block cost is
+//!   40 lookups per round batch instead of hundreds of byte operations. A
+//!   byte-wise reference implementation is kept in the test module and
+//!   checked for equivalence. This path is not constant-time (the lookups
+//!   are data-dependent) and is retained as the portable fallback and the
+//!   correctness oracle.
+//! * **Hardware** — `x86_64` AES-NI ([`crate::aesni`]): `aeskeygenassist`
+//!   key schedule and an 8-block interleaved `aesenc` pipeline behind
+//!   [`Aes128::encrypt_blocks`]. Bit-for-bit equal to the software path,
+//!   constant-time by construction, and ~an order of magnitude faster on
+//!   bulk keystream.
+//!
+//! Either way the point is that the secure-communication protocol in this
 //! repository is *functionally* real (pads, MACs and tamper detection all
 //! operate on genuine AES output), while the performance model uses the
-//! pipelined engine abstraction in [`crate::engine`].
+//! pipelined engine abstraction in [`crate::engine`]. Decryption of single
+//! blocks is a test/GCM-free convenience and always runs the byte-wise
+//! software path.
+
+use crate::backend::{self, Backend};
 
 /// The AES block size in bytes.
 pub const BLOCK_SIZE: usize = 16;
@@ -131,6 +145,9 @@ pub struct Aes128 {
     /// The same schedule as big-endian column words, the form the T-table
     /// rounds consume directly.
     ek: [[u32; 4]; 11],
+    /// Implementation family, snapshotted from the process default at
+    /// construction.
+    backend: Backend,
 }
 
 impl core::fmt::Debug for Aes128 {
@@ -140,41 +157,96 @@ impl core::fmt::Debug for Aes128 {
     }
 }
 
+/// The FIPS-197 §5.2 software key expansion.
+fn expand_key_soft(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp.rotate_left(1);
+            for t in &mut temp {
+                *t = SBOX[*t as usize];
+            }
+            temp[0] ^= RCON[i / 4 - 1];
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ temp[j];
+        }
+    }
+    let mut round_keys = [[0u8; 16]; 11];
+    for (r, rk) in round_keys.iter_mut().enumerate() {
+        for c in 0..4 {
+            rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+        }
+    }
+    round_keys
+}
+
 impl Aes128 {
-    /// Expands a 128-bit key into the 11 round keys (FIPS-197 §5.2).
+    /// Expands a 128-bit key into the 11 round keys (FIPS-197 §5.2),
+    /// using the process-default backend ([`backend::default_backend`]).
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for (i, chunk) in key.chunks_exact(4).enumerate() {
-            w[i].copy_from_slice(chunk);
-        }
-        for i in 4..44 {
-            let mut temp = w[i - 1];
-            if i % 4 == 0 {
-                temp.rotate_left(1);
-                for t in &mut temp {
-                    *t = SBOX[*t as usize];
-                }
-                temp[0] ^= RCON[i / 4 - 1];
-            }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ temp[j];
-            }
-        }
-        let mut round_keys = [[0u8; 16]; 11];
+        Self::with_backend(key, backend::default_backend())
+    }
+
+    /// Expands a key for an explicitly chosen backend. Both backends
+    /// produce the identical FIPS-197 schedule and identical ciphertext;
+    /// only the instructions differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on this CPU.
+    #[must_use]
+    pub fn with_backend(key: &[u8; 16], backend: Backend) -> Self {
+        assert!(
+            backend.is_available(),
+            "backend {} is not available on this host",
+            backend.name()
+        );
+        let round_keys = match backend {
+            Backend::Soft => expand_key_soft(key),
+            #[cfg(target_arch = "x86_64")]
+            Backend::HwAesClmul => crate::aesni::expand_key(key),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::HwAesClmul => unreachable!("hw backend unavailable off x86_64"),
+        };
         let mut ek = [[0u32; 4]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
-            for c in 0..4 {
-                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
-                ek[r][c] = u32::from_be_bytes(w[r * 4 + c]);
+        for (er, rk) in ek.iter_mut().zip(&round_keys) {
+            for (c, word) in er.iter_mut().enumerate() {
+                *word = u32::from_be_bytes(rk[c * 4..c * 4 + 4].try_into().expect("4 bytes"));
             }
         }
-        Aes128 { round_keys, ek }
+        Aes128 {
+            round_keys,
+            ek,
+            backend,
+        }
+    }
+
+    /// The implementation family this instance dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Encrypts one 16-byte block.
     #[must_use]
     pub fn encrypt_block(&self, state: Block) -> Block {
+        match self.backend {
+            Backend::Soft => self.encrypt_block_soft(state),
+            #[cfg(target_arch = "x86_64")]
+            Backend::HwAesClmul => crate::aesni::encrypt_block(&self.round_keys, state),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::HwAesClmul => unreachable!("hw backend unavailable off x86_64"),
+        }
+    }
+
+    /// The T-table encryption path (software backend).
+    fn encrypt_block_soft(&self, state: Block) -> Block {
         // Load the four columns as big-endian words (row 0 in the MSB; the
         // state is column-major, so column c is bytes 4c..4c+4).
         let mut w = [0u32; 4];
@@ -207,11 +279,21 @@ impl Aes128 {
     /// Encrypts every block in `blocks` in place.
     ///
     /// This is the bulk entry point behind keystream and pad generation:
-    /// one call amortizes the per-call overhead across a whole refill
-    /// (CTR counters are independent, so blocks need no chaining).
+    /// one call amortizes the per-call overhead across a whole refill, and
+    /// on the hardware backend runs the 8-block interleaved AES-NI
+    /// pipeline (CTR counters are independent, so blocks need no
+    /// chaining).
     pub fn encrypt_blocks(&self, blocks: &mut [Block]) {
-        for block in blocks.iter_mut() {
-            *block = self.encrypt_block(*block);
+        match self.backend {
+            Backend::Soft => {
+                for block in blocks.iter_mut() {
+                    *block = self.encrypt_block_soft(*block);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::HwAesClmul => crate::aesni::encrypt_blocks(&self.round_keys, blocks),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::HwAesClmul => unreachable!("hw backend unavailable off x86_64"),
         }
     }
 
@@ -465,6 +547,27 @@ mod tests {
         let expected: Vec<Block> = blocks.iter().map(|&b| aes.encrypt_block(b)).collect();
         aes.encrypt_blocks(&mut blocks);
         assert_eq!(blocks, expected);
+    }
+
+    #[test]
+    fn hw_key_schedule_matches_soft() {
+        // `aeskeygenassist` and the FIPS-197 software expansion must
+        // produce byte-identical schedules for the dispatch to be sound.
+        if !Backend::HwAesClmul.is_available() {
+            return;
+        }
+        for key in [[0u8; 16], [0xFF; 16], [0x2B; 16], {
+            let mut k = [0u8; 16];
+            for (i, b) in k.iter_mut().enumerate() {
+                *b = i as u8;
+            }
+            k
+        }] {
+            let soft = Aes128::with_backend(&key, Backend::Soft);
+            let hw = Aes128::with_backend(&key, Backend::HwAesClmul);
+            assert_eq!(soft.round_keys, hw.round_keys, "key={key:02x?}");
+            assert_eq!(soft.ek, hw.ek);
+        }
     }
 
     mod prop_tests {

@@ -1,0 +1,246 @@
+//! Hardware AES-128 via the `x86_64` AES-NI instructions.
+//!
+//! This is the [`crate::backend::Backend::HwAesClmul`] implementation of
+//! the block cipher: the key schedule runs through `aeskeygenassist` and
+//! bulk encryption through an 8-block interleaved `aesenc` pipeline. Both
+//! are bit-for-bit equivalent to the portable T-table path in
+//! [`crate::aes`] (property-tested in `tests/backend_parity.rs`) — the
+//! point is throughput: `aesenc` retires one round per instruction and the
+//! 8-way interleave keeps the pipeline full across independent CTR
+//! counter blocks, where the software path spends ~40 table lookups per
+//! round batch. Unlike the T-tables, AES-NI is also constant-time by
+//! construction: no key- or data-dependent memory accesses exist for a
+//! co-tenant to probe.
+//!
+//! # Safety contract
+//!
+//! Every `unsafe` in this module is one of two shapes, each documented at
+//! the use site:
+//!
+//! 1. **Feature gate** — calling a `#[target_feature(enable = "aes")]`
+//!    function. Sound if and only if the CPU supports AES-NI; the public
+//!    wrappers assert [`available`] before entering, and the dispatch
+//!    layer only selects this module when detection succeeded.
+//! 2. **Unaligned SIMD loads/stores** — `_mm_loadu_si128` /
+//!    `_mm_storeu_si128` on `[u8; 16]` buffers. Sound because the `u`
+//!    variants have no alignment requirement and every pointer derives
+//!    from a live reference covering exactly 16 bytes.
+
+use crate::aes::Block;
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_aeskeygenassist_si128, _mm_loadu_si128,
+    _mm_setzero_si128, _mm_shuffle_epi32, _mm_slli_si128, _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// Number of independent blocks kept in flight by the bulk pipeline.
+/// `aesenc` has a multi-cycle latency but single-cycle throughput on every
+/// AES-NI core, so 8 interleaved streams cover the dependency chains of
+/// all current microarchitectures without spilling registers.
+const PIPELINE: usize = 8;
+
+/// Runtime check for this module's instruction set.
+#[must_use]
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+}
+
+/// Expands an AES-128 key into the 11 round keys via `aeskeygenassist`.
+///
+/// Produces exactly the FIPS-197 §5.2 schedule (the same bytes as the
+/// software expansion — pinned by tests), computed the way hardware
+/// implementations do: the assist instruction supplies `SubWord(RotWord)`
+/// plus the round constant, and the three `slli`/`xor` pairs fold the
+/// running word prefix.
+///
+/// # Panics
+///
+/// Panics if the CPU does not support AES-NI.
+#[must_use]
+pub fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    assert!(available(), "AES-NI key expansion without CPU support");
+    // SAFETY: feature gate — `available()` verified AES-NI support above.
+    unsafe { expand_key_impl(key) }
+}
+
+/// One key-schedule round: `prev` is round key `i-1`, `assist` the
+/// `aeskeygenassist` output for it (with the matching round constant).
+#[target_feature(enable = "aes")]
+fn expand_round(prev: __m128i, assist: __m128i) -> __m128i {
+    // Broadcast the high word of the assist result (SubWord(RotWord(w3))
+    // ^ rcon) to all four lanes, then xor in the prefix sums of the
+    // previous round key's words.
+    let t = _mm_shuffle_epi32::<0b1111_1111>(assist);
+    let mut k = prev;
+    k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+    k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+    k = _mm_xor_si128(k, _mm_slli_si128::<4>(k));
+    _mm_xor_si128(k, t)
+}
+
+#[target_feature(enable = "aes")]
+fn expand_key_impl(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    // SAFETY: unaligned load — `key` is a live 16-byte reference.
+    let k0 = unsafe { _mm_loadu_si128(key.as_ptr().cast::<__m128i>()) };
+    let mut rk = [k0; 11];
+    // `aeskeygenassist` takes the round constant as an immediate, so the
+    // ten rounds are spelled out rather than looped.
+    rk[1] = expand_round(rk[0], _mm_aeskeygenassist_si128::<0x01>(rk[0]));
+    rk[2] = expand_round(rk[1], _mm_aeskeygenassist_si128::<0x02>(rk[1]));
+    rk[3] = expand_round(rk[2], _mm_aeskeygenassist_si128::<0x04>(rk[2]));
+    rk[4] = expand_round(rk[3], _mm_aeskeygenassist_si128::<0x08>(rk[3]));
+    rk[5] = expand_round(rk[4], _mm_aeskeygenassist_si128::<0x10>(rk[4]));
+    rk[6] = expand_round(rk[5], _mm_aeskeygenassist_si128::<0x20>(rk[5]));
+    rk[7] = expand_round(rk[6], _mm_aeskeygenassist_si128::<0x40>(rk[6]));
+    rk[8] = expand_round(rk[7], _mm_aeskeygenassist_si128::<0x80>(rk[7]));
+    rk[9] = expand_round(rk[8], _mm_aeskeygenassist_si128::<0x1b>(rk[8]));
+    rk[10] = expand_round(rk[9], _mm_aeskeygenassist_si128::<0x36>(rk[9]));
+    let mut out = [[0u8; 16]; 11];
+    for (bytes, reg) in out.iter_mut().zip(rk) {
+        // SAFETY: unaligned store — `bytes` is a live 16-byte buffer.
+        unsafe { _mm_storeu_si128(bytes.as_mut_ptr().cast::<__m128i>(), reg) };
+    }
+    out
+}
+
+/// Encrypts one block with an expanded schedule.
+///
+/// # Panics
+///
+/// Panics if the CPU does not support AES-NI.
+#[must_use]
+pub fn encrypt_block(round_keys: &[[u8; 16]; 11], block: Block) -> Block {
+    assert!(available(), "AES-NI encryption without CPU support");
+    // SAFETY: feature gate — `available()` verified AES-NI support above.
+    unsafe { encrypt_block_impl(round_keys, block) }
+}
+
+/// Encrypts every block in `blocks` in place, 8 blocks interleaved.
+///
+/// This is the bulk entry point behind CTR keystream and OTP pad refill:
+/// the blocks are independent counter values, so the pipeline runs at
+/// `aesenc` throughput instead of its latency.
+///
+/// # Panics
+///
+/// Panics if the CPU does not support AES-NI.
+pub fn encrypt_blocks(round_keys: &[[u8; 16]; 11], blocks: &mut [Block]) {
+    assert!(available(), "AES-NI encryption without CPU support");
+    // SAFETY: feature gate — `available()` verified AES-NI support above.
+    unsafe { encrypt_blocks_impl(round_keys, blocks) }
+}
+
+#[target_feature(enable = "aes")]
+fn load_schedule(round_keys: &[[u8; 16]; 11]) -> [__m128i; 11] {
+    let mut keys = [_mm_setzero_si128(); 11];
+    for (reg, bytes) in keys.iter_mut().zip(round_keys) {
+        // SAFETY: unaligned load — each round key is a live 16-byte array.
+        *reg = unsafe { _mm_loadu_si128(bytes.as_ptr().cast::<__m128i>()) };
+    }
+    keys
+}
+
+#[target_feature(enable = "aes")]
+fn encrypt_block_impl(round_keys: &[[u8; 16]; 11], block: Block) -> Block {
+    let keys = load_schedule(round_keys);
+    // SAFETY: unaligned load — `block` is a live 16-byte array.
+    let mut s = unsafe { _mm_loadu_si128(block.as_ptr().cast::<__m128i>()) };
+    s = _mm_xor_si128(s, keys[0]);
+    for key in &keys[1..10] {
+        s = _mm_aesenc_si128(s, *key);
+    }
+    s = _mm_aesenclast_si128(s, keys[10]);
+    let mut out = [0u8; 16];
+    // SAFETY: unaligned store — `out` is a live 16-byte buffer.
+    unsafe { _mm_storeu_si128(out.as_mut_ptr().cast::<__m128i>(), s) };
+    out
+}
+
+#[target_feature(enable = "aes")]
+fn encrypt_blocks_impl(round_keys: &[[u8; 16]; 11], blocks: &mut [Block]) {
+    let keys = load_schedule(round_keys);
+    let mut chunks = blocks.chunks_exact_mut(PIPELINE);
+    for chunk in &mut chunks {
+        let mut s = [keys[0]; PIPELINE];
+        for (reg, block) in s.iter_mut().zip(chunk.iter()) {
+            // SAFETY: unaligned load — each chunk element is a live
+            // 16-byte array.
+            let loaded = unsafe { _mm_loadu_si128(block.as_ptr().cast::<__m128i>()) };
+            *reg = _mm_xor_si128(loaded, keys[0]);
+        }
+        // Interleaved rounds: all 8 streams advance one round before any
+        // stream advances two, so consecutive `aesenc` on one stream are
+        // 8 instructions apart — beyond the instruction's latency.
+        for key in &keys[1..10] {
+            for reg in &mut s {
+                *reg = _mm_aesenc_si128(*reg, *key);
+            }
+        }
+        for (reg, block) in s.iter_mut().zip(chunk.iter_mut()) {
+            *reg = _mm_aesenclast_si128(*reg, keys[10]);
+            // SAFETY: unaligned store — each chunk element is a live
+            // 16-byte buffer.
+            unsafe { _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), *reg) };
+        }
+    }
+    for block in chunks.into_remainder() {
+        // SAFETY: unaligned load — `block` is a live 16-byte array.
+        let mut s = unsafe { _mm_loadu_si128(block.as_ptr().cast::<__m128i>()) };
+        s = _mm_xor_si128(s, keys[0]);
+        for key in &keys[1..10] {
+            s = _mm_aesenc_si128(s, *key);
+        }
+        s = _mm_aesenclast_si128(s, keys[10]);
+        // SAFETY: unaligned store — `block` is a live 16-byte buffer.
+        unsafe { _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), s) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        if !available() {
+            return;
+        }
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let rk = expand_key(&key);
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(encrypt_block(&rk, pt), expected);
+        // Last round key of this schedule, FIPS-197 Appendix A.1.
+        assert_eq!(
+            rk[10],
+            [
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
+                0x0c, 0xa6
+            ]
+        );
+    }
+
+    #[test]
+    fn bulk_matches_single_across_remainders() {
+        if !available() {
+            return;
+        }
+        let rk = expand_key(&[0x42; 16]);
+        // Lengths straddling the 8-block pipeline: empty, sub-pipeline,
+        // exact multiples, and pipeline + remainder.
+        for len in [0usize, 1, 7, 8, 9, 16, 23] {
+            let mut blocks: Vec<Block> = (0..len).map(|i| [i as u8; 16]).collect();
+            let expected: Vec<Block> = blocks.iter().map(|&b| encrypt_block(&rk, b)).collect();
+            encrypt_blocks(&rk, &mut blocks);
+            assert_eq!(blocks, expected, "len={len}");
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! schemes exploit.
 
 use crate::aes::{Aes128, Block, BLOCK_SIZE};
+use crate::backend::Backend;
 use crate::pad::PadSeed;
 
 /// Counter-mode keystream generator bound to one AES key.
@@ -36,12 +37,32 @@ pub struct CtrKeystream {
 }
 
 impl CtrKeystream {
-    /// Creates a generator for the given session key.
+    /// Creates a generator for the given session key, using the
+    /// process-default backend ([`crate::backend::default_backend`]).
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
         CtrKeystream {
             aes: Aes128::new(key),
         }
+    }
+
+    /// Creates a generator on an explicitly chosen backend. Keystream
+    /// output is bit-identical across backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on this CPU.
+    #[must_use]
+    pub fn with_backend(key: &[u8; 16], backend: Backend) -> Self {
+        CtrKeystream {
+            aes: Aes128::with_backend(key, backend),
+        }
+    }
+
+    /// The implementation family this generator dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.aes.backend()
     }
 
     /// Generates one 16-byte keystream block for `seed` at block offset

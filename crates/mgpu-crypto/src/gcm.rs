@@ -5,6 +5,7 @@
 //! validation: real ciphertexts, real tags, real tamper detection.
 
 use crate::aes::Aes128;
+use crate::backend::{self, Backend};
 use crate::ghash::{Ghash, GhashKey};
 
 /// Authentication tag length in bytes (full 128-bit tags).
@@ -25,8 +26,9 @@ pub const TAG_LEN: usize = 16;
 #[derive(Debug, Clone)]
 pub struct AesGcm {
     aes: Aes128,
-    /// `H = AES_K(0)` expanded into the Shoup product table, built once
-    /// per key and shared by every tag computation.
+    /// `H = AES_K(0)` expanded into the backend's key tables (Shoup
+    /// product table and `H`-power table), built once per key and shared
+    /// by every tag computation.
     h: GhashKey,
 }
 
@@ -43,12 +45,30 @@ impl core::fmt::Display for TagMismatch {
 impl std::error::Error for TagMismatch {}
 
 impl AesGcm {
-    /// Creates a GCM instance, deriving the hash subkey `H = AES_K(0)`.
+    /// Creates a GCM instance, deriving the hash subkey `H = AES_K(0)`,
+    /// using the process-default backend ([`backend::default_backend`]).
     #[must_use]
     pub fn new(key: &[u8; 16]) -> Self {
-        let aes = Aes128::new(key);
-        let h = GhashKey::new(aes.encrypt_block([0u8; 16]));
+        Self::with_backend(key, backend::default_backend())
+    }
+
+    /// Creates a GCM instance on an explicitly chosen backend (both the
+    /// AES and GHASH halves). Output is bit-identical across backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on this CPU.
+    #[must_use]
+    pub fn with_backend(key: &[u8; 16], backend: Backend) -> Self {
+        let aes = Aes128::with_backend(key, backend);
+        let h = GhashKey::with_backend(aes.encrypt_block([0u8; 16]), backend);
         AesGcm { aes, h }
+    }
+
+    /// The implementation family this instance dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.aes.backend()
     }
 
     /// Builds the initial counter block J0 for a 96-bit nonce

@@ -7,12 +7,23 @@
 //! computation time" once the authentication pad is pre-generated
 //! (paper Fig. 6c).
 //!
-//! Multiplication by `H` uses Shoup's 8-bit table method: a 256-entry table
-//! of `byte · H` products is built once per key ([`GhashKey`]) and each
-//! block multiply becomes 16 table lookups plus 16 byte-shifts, instead of
-//! the 128-iteration bit loop of [`Gf128::mul`]. The bit loop is kept as
-//! the reference oracle and the two are checked for equivalence in tests.
+//! Multiplication by `H` dispatches per key through the [`crate::backend`]
+//! layer:
+//!
+//! * **Software** — Shoup's 8-bit table method: a 256-entry table of
+//!   `byte · H` products is built once per key ([`GhashKey`]) and each
+//!   block multiply becomes 16 table lookups plus 16 byte-shifts, instead
+//!   of the 128-iteration bit loop of [`Gf128::mul`]. The bit loop is kept
+//!   as the reference oracle and the two are checked for equivalence in
+//!   tests.
+//! * **Hardware** — `x86_64` PCLMULQDQ ([`crate::clmul`]): one carry-less
+//!   multiply per block, and for bulk data a 4-block aggregated reduction
+//!   over the precomputed `H¹..H⁴` power table ([`GhashKey::fold_blocks`],
+//!   which [`Ghash::update`] feeds every full-block run through).
+//!   Bit-for-bit equal to the software path and constant-time, unlike the
+//!   data-indexed Shoup table.
 
+use crate::backend::{self, Backend};
 use std::sync::Arc;
 
 /// An element of GF(2^128) in GCM's bit-reflected representation.
@@ -165,13 +176,45 @@ const REDUCE8: [u64; 256] = build_reduce8();
 #[derive(Debug, Clone)]
 pub struct GhashKey {
     table: Arc<[Gf128; 256]>,
+    /// `[H, H², H³, H⁴]` in GCM byte order, for the hardware 4-block
+    /// aggregated fold. Computed with the portable bit-loop multiply so
+    /// the table itself never depends on the backend.
+    hpow: [[u8; 16]; 4],
+    /// Implementation family, snapshotted from the process default at
+    /// construction.
+    backend: Backend,
 }
 
 impl GhashKey {
-    /// Builds the product table for hash subkey `h` (= `AES_K(0)` in GCM).
+    /// Builds the key tables for hash subkey `h` (= `AES_K(0)` in GCM),
+    /// using the process-default backend ([`backend::default_backend`]).
     #[must_use]
     pub fn new(h: [u8; 16]) -> Self {
-        let h = Gf128::from_bytes(h);
+        Self::with_backend(h, backend::default_backend())
+    }
+
+    /// Builds the key tables for an explicitly chosen backend. Both
+    /// backends produce bit-identical GHASH output; only the instructions
+    /// differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not available on this CPU.
+    #[must_use]
+    pub fn with_backend(h: [u8; 16], backend: Backend) -> Self {
+        assert!(
+            backend.is_available(),
+            "backend {} is not available on this host",
+            backend.name()
+        );
+        let hf = Gf128::from_bytes(h);
+        let mut hpow = [[0u8; 16]; 4];
+        let mut acc = hf;
+        for slot in &mut hpow {
+            *slot = acc.to_bytes();
+            acc = acc.mul(hf);
+        }
+        let h = hf;
         let mut table = [Gf128::ZERO; 256];
         // Single-bit bytes: 0x80 denotes x^0, 0x40 denotes x^1, ... 0x01
         // denotes x^7. Fill them by repeated doubling of H.
@@ -192,13 +235,37 @@ impl GhashKey {
         }
         GhashKey {
             table: Arc::new(table),
+            hpow,
+            backend,
         }
     }
 
-    /// Multiplies `x · H` via the table: Horner over the 16 bytes of `x`,
-    /// highest byte index first, shifting by `x^8` between steps.
+    /// The implementation family this key dispatches to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Multiplies `x · H`, dispatching to the backend chosen at key
+    /// construction.
     #[must_use]
     pub fn mul(&self, x: Gf128) -> Gf128 {
+        match self.backend {
+            Backend::Soft => self.mul_soft(x),
+            #[cfg(target_arch = "x86_64")]
+            Backend::HwAesClmul => {
+                Gf128::from_bytes(crate::clmul::mul(&x.to_bytes(), &self.hpow[0]))
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::HwAesClmul => unreachable!("hw backend unavailable off x86_64"),
+        }
+    }
+
+    /// The Shoup-table multiply (software backend): Horner over the 16
+    /// bytes of `x`, highest byte index first, shifting by `x^8` between
+    /// steps.
+    #[must_use]
+    fn mul_soft(&self, x: Gf128) -> Gf128 {
         let bytes = x.to_bytes();
         let mut z = Gf128::ZERO;
         for &b in bytes.iter().rev() {
@@ -209,6 +276,27 @@ impl GhashKey {
             z = z.add(self.table[b as usize]);
         }
         z
+    }
+
+    /// Absorbs a run of full blocks into accumulator `y`:
+    /// `y ← (…((y ⊕ b₀)·H ⊕ b₁)·H … ⊕ bₙ₋₁)·H`.
+    ///
+    /// On the hardware backend this is the 4-block aggregated-reduction
+    /// fold over the `H¹..H⁴` power table — the GHASH bulk fast path; on
+    /// the software backend it is the sequential Horner loop.
+    #[must_use]
+    pub fn fold_blocks(&self, y: Gf128, blocks: &[[u8; 16]]) -> Gf128 {
+        match self.backend {
+            Backend::Soft => blocks.iter().fold(y, |acc, block| {
+                self.mul_soft(acc.add(Gf128::from_bytes(*block)))
+            }),
+            #[cfg(target_arch = "x86_64")]
+            Backend::HwAesClmul => {
+                Gf128::from_bytes(crate::clmul::fold(&y.to_bytes(), &self.hpow, blocks))
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::HwAesClmul => unreachable!("hw backend unavailable off x86_64"),
+        }
     }
 }
 
@@ -272,12 +360,11 @@ impl Ghash {
                 self.buf_len = 0;
             }
         }
-        let mut chunks = data.chunks_exact(16);
-        for chunk in chunks.by_ref() {
-            let block: [u8; 16] = chunk.try_into().expect("16 bytes");
-            self.absorb_block(block);
-        }
-        let rest = chunks.remainder();
+        // Feed the aligned full-block region to the key's bulk fold in one
+        // call — on the hardware backend that is the 4-block aggregated
+        // PCLMULQDQ path.
+        let (blocks, rest) = data.as_chunks::<16>();
+        self.y = self.key.fold_blocks(self.y, blocks);
         self.buf[..rest.len()].copy_from_slice(rest);
         self.buf_len = rest.len();
     }

@@ -238,6 +238,16 @@ fn bench_json(
     out.push_str(&format!("  \"mode\": \"{mode_name}\",\n"));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.3},\n"));
     out.push_str(&format!(
+        "  \"crypto_backend\": \"{}\",\n",
+        mgpu_crypto::backend::default_backend().name()
+    ));
+    let features = mgpu_crypto::backend::cpu_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("  \"cpu_features\": [{features}],\n"));
+    out.push_str(&format!(
         "  \"engine\": {{\"events_per_sec\": {:.0}, \"events_processed\": {}, \
          \"cell_seconds\": {:.6}}},\n",
         engine.events_per_sec, engine.events_processed, engine.seconds,
@@ -385,6 +395,11 @@ fn main() -> ExitCode {
     }
     let ids = dedup_preserving_order(ids);
 
+    eprintln!(
+        "crypto backend: {} (cpu features: {})",
+        mgpu_crypto::backend::default_backend().name(),
+        mgpu_crypto::backend::cpu_features().join(",")
+    );
     let suite_started = std::time::Instant::now();
     let mut timings: Vec<Timing> = Vec::with_capacity(ids.len());
     for id in &ids {

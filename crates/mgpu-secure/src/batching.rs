@@ -13,6 +13,12 @@
 //! every block of the batch has arrived (in any order), the batched MAC is
 //! recomputed in order and compared. The storage is bounded (paper §IV-D:
 //! `max(16, 64) × peers × 8 B = 2 KB` per GPU).
+//!
+//! This module owns the batching bookkeeping; the batched MAC itself is a
+//! GCM seal over [`concat_macs`] output, computed in
+//! `crate::channel::Endpoint` by an `AesGcm` instance that dispatches to
+//! the runtime-selected crypto backend (hardware AES-NI/PCLMULQDQ when
+//! available) — trailer MACs ride the same fast path as block seals.
 
 use mgpu_types::{Cycle, DenseNodeMap, Duration, MgpuError, NodeId};
 

@@ -6,6 +6,13 @@
 //! lazily verified from the MsgMAC storage, using the workspace's
 //! from-scratch crypto. Integration tests and the `secure_channel` example
 //! drive attacks (bit flips, replays, reordering) against it.
+//!
+//! All functional crypto here — per-block GCM seals, batch-trailer MACs,
+//! ACK verification — funnels through [`AesGcm`], which dispatches to the
+//! runtime-selected `mgpu_crypto::backend::Backend`: hardware
+//! AES-NI/PCLMULQDQ where the CPU supports it, the portable software
+//! paths otherwise, bit-identical either way (`MGPU_CRYPTO_BACKEND=soft`
+//! forces the software paths).
 
 use crate::batching::{BatchId, ClosedBatch, MacStorage, MsgMac, SenderBatcher};
 use crate::key_exchange::KeyExchange;

@@ -8,6 +8,13 @@
 //! pad is consumed, a replacement for the farthest-future counter is issued
 //! to the (pipelined) AES engine, and each use is classified as
 //! `Hit` / `Partial` / `Miss` exactly as in the paper's Figs. 10 and 22.
+//!
+//! This module models the *timing* of pad refill against the engine
+//! abstraction; the functional pad bytes themselves come from
+//! `mgpu_crypto::ctr::CtrKeystream::keystream_blocks`, whose bulk path
+//! runs the 8-block interleaved AES-NI pipeline when the runtime-selected
+//! crypto backend is hardware — so the simulated 40-cycle engine is backed
+//! by genuinely hardware-rate keystream generation.
 
 use mgpu_crypto::engine::{AesEngine, PadTiming};
 use mgpu_types::{Cycle, Direction, Duration};

@@ -189,6 +189,44 @@ fn open_loop_serving_cell_stays_bit_for_bit() {
     }
 }
 
+/// Crypto-backend parity: the entire 12-cell golden matrix must be
+/// bit-for-bit identical whether the functional crypto runs on the
+/// software T-table/Shoup paths or the hardware AES-NI/PCLMULQDQ paths.
+/// The backends are property-tested equal primitive-by-primitive in
+/// `mgpu-crypto`; this asserts the end-to-end claim at the system level —
+/// every pad, GCM seal, and batch-trailer MAC included. On hosts without
+/// the hardware features both halves run soft and the test degenerates to
+/// the plain golden check.
+#[test]
+fn crypto_backends_reproduce_identical_golden_matrix() {
+    use mgpu_crypto::backend::{set_default_backend, Backend};
+
+    let base = SystemConfig::paper_4gpu();
+    let cfgs = scheme_matrix(&base);
+    let auto = if Backend::HwAesClmul.is_available() {
+        Backend::HwAesClmul
+    } else {
+        Backend::Soft
+    };
+    for bench in [Benchmark::MatrixTranspose, Benchmark::Spmv] {
+        set_default_backend(Backend::Soft);
+        let soft = compare_schemes(bench, &cfgs, 200, 42);
+        set_default_backend(auto);
+        let hw = compare_schemes(bench, &cfgs, 200, 42);
+        for (s, h) in soft.iter().zip(hw.iter()) {
+            assert_eq!(
+                format!("{:?}", s.report),
+                format!("{:?}", h.report),
+                "{} / {bench:?}: soft vs {} backend digest drift",
+                s.label,
+                auto.name(),
+            );
+        }
+    }
+    // Leave the process default as detection would have chosen it.
+    set_default_backend(auto);
+}
+
 /// The sharded engine is not allowed to be "close": every cell of the
 /// golden matrix must produce a [`RunReport`] whose entire `Debug`
 /// rendering — cycles, bytes, OTP stats, latencies, event counts, and
